@@ -1,0 +1,24 @@
+"""Benchmark harness settings.
+
+Every benchmark regenerates one experiment of DESIGN.md §4 (quick
+mode: shrunken durations, single replication) and asserts the *shape*
+of the result — who wins, roughly by how much — matching the claims
+quoted in EXPERIMENTS.md.  pytest-benchmark measures the wall cost of
+regenerating it.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module once under the benchmark timer."""
+
+    def runner(module, quick=True):
+        return benchmark.pedantic(
+            lambda: module.run(quick=quick), rounds=1, iterations=1
+        )
+
+    return runner

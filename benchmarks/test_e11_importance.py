@@ -1,0 +1,16 @@
+"""Bench E11 (extension): importance-aware admission reservation."""
+
+from repro.experiments import e11_importance
+
+
+def test_e11_importance_gate(run_experiment):
+    result = run_experiment(e11_importance)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    top_rate = max(row[0] for row in result.rows)
+    off = by_key[(top_rate, "off")]
+    on = by_key[(top_rate, "on")]
+    # The gate sheds low-importance work: raw goodput drops, rejects
+    # rise, and importance-weighted goodput holds or improves.
+    assert on[2] < off[2]            # goodput
+    assert on[4] > off[4]            # reject rate
+    assert on[3] >= off[3] - 0.02    # value goodput not sacrificed

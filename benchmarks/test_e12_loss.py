@@ -1,0 +1,16 @@
+"""Bench E12 (extension): graceful degradation under message loss."""
+
+from repro.experiments import e12_loss
+
+
+def test_e12_loss_degradation(run_experiment):
+    result = run_experiment(e12_loss)
+    losses = result.column("loss_rate")
+    goodput = result.column("goodput")
+    assert losses == sorted(losses)
+    # Clean network is near-perfect; lossy degrades but keeps working.
+    assert goodput[0] > 0.95
+    assert goodput[-1] < goodput[0]
+    assert goodput[-1] > 0.2  # graceful, not collapsed
+    # Accounting: dropped messages were actually observed.
+    assert result.column("dropped_msgs")[-1] > 0

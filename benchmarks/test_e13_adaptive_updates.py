@@ -1,0 +1,16 @@
+"""Bench E13 (extension): QoS-adaptive update frequency."""
+
+from repro.experiments import e13_adaptive_updates
+
+
+def test_e13_adaptive_updates(run_experiment):
+    result = run_experiment(e13_adaptive_updates)
+    rows = {row[0]: row for row in result.rows}
+    # Message overhead ordering: fast > adaptive > slow.
+    assert rows["fast"][1] > rows["adaptive"][1] > rows["slow"][1]
+    # Adaptivity saves a large fraction of fast-mode messages...
+    assert rows["adaptive"][1] < 0.6 * rows["fast"][1]
+    # ...while goodput stays within noise across all modes (staleness
+    # is not the binding constraint at this load — see E7).
+    goodputs = [rows[m][2] for m in ("fast", "adaptive", "slow")]
+    assert max(goodputs) - min(goodputs) < 0.08

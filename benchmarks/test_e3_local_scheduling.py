@@ -1,0 +1,25 @@
+"""Bench E3: LLS vs EDF vs FIFO vs SJF vs VALUE local scheduling."""
+
+from repro.experiments import e3_scheduling
+
+
+def test_e3_local_scheduling(run_experiment):
+    result = run_experiment(e3_scheduling)
+    by_sched = {}
+    for _rate, sched, goodput, task_miss, job_miss, _resp in result.rows:
+        agg = by_sched.setdefault(sched, [])
+        agg.append((goodput, task_miss, job_miss))
+    mean_good = {
+        s: sum(g for g, _t, _j in rows) / len(rows)
+        for s, rows in by_sched.items()
+    }
+    # EDF — the clean deadline-aware policy — holds its own against
+    # FIFO at every load (and wins under contention; see EXPERIMENTS.md
+    # E3 for the full sweep).
+    assert mean_good["EDF"] >= mean_good["FIFO"] - 0.02
+    # Quantized LLS pays a measured preemption-churn cost but stays in
+    # the same family as EDF (the E3 deviation documented in
+    # EXPERIMENTS.md: a paper-faithful LLS is not better than EDF here).
+    assert mean_good["LLS"] >= mean_good["EDF"] - 0.05
+    # All schedulers complete the workload (sanity).
+    assert all(g > 0.5 for g in mean_good.values())

@@ -1,0 +1,28 @@
+"""Bench E4: scalability with the number of peers."""
+
+from repro.experiments import e4_scalability
+
+
+def test_e4_scalability(run_experiment):
+    result = run_experiment(e4_scalability)
+    dec = [row for row in result.rows if row[1] == "domains"]
+    cen = [row for row in result.rows if row[1] == "central"]
+    peers = [row[0] for row in dec]
+    goodput = [row[3] for row in dec]
+    ctrl = [row[5] for row in dec]
+    domains = [row[2] for row in dec]
+    # Goodput stays high as the system grows (the §6 claim).
+    assert all(g > 0.85 for g in goodput), goodput
+    # Per-peer control overhead stays bounded (decentralization): the
+    # largest system costs at most ~3x the smallest per peer, not O(n).
+    assert ctrl[-1] <= 3.0 * max(ctrl[0], 0.1)
+    # Domains split as the population exceeds the RM capacity; the
+    # centralized strawman never splits.
+    assert domains[-1] > domains[0]
+    assert all(row[2] == 1.0 for row in cen)
+    assert peers == sorted(peers)
+    # Centralization cost: at the largest size the single central RM
+    # terminates far more traffic than any one domain RM.
+    central_hot = cen[-1][6]
+    domain_hot = dec[-1][6]
+    assert central_hot > 1.5 * domain_hot, (central_hot, domain_hot)

@@ -1,0 +1,17 @@
+"""Bench E5: churn with and without adaptive repair."""
+
+from repro.experiments import e5_churn
+
+
+def test_e5_churn_adaptation(run_experiment):
+    result = run_experiment(e5_churn)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    lifetimes = sorted({row[0] for row in result.rows})
+    for lifetime in lifetimes:
+        adapt = by_key[(lifetime, "yes")]
+        blind = by_key[(lifetime, "no")]
+        # Adaptation strictly reduces lost tasks and wins on goodput.
+        assert adapt[2] > blind[2], (lifetime, adapt, blind)   # goodput
+        assert adapt[3] <= blind[3]                            # failed
+        assert adapt[4] > 0                                    # repairs ran
+        assert blind[4] == 0

@@ -1,0 +1,16 @@
+"""Bench E6: admission control and cross-domain redirection."""
+
+from repro.experiments import e6_admission
+
+
+def test_e6_admission_redirection(run_experiment):
+    result = run_experiment(e6_admission)
+    # Multiple domains formed; redirection happens between them.
+    assert all(d >= 2 for d in result.column("domains"))
+    assert any(r > 0 for r in result.column("redirect"))
+    # Accounting closes: admit + reject ~ 1 of submissions per row
+    # (redirected tasks are eventually admitted or rejected elsewhere).
+    for row in result.rows:
+        admit, reject = row[3], row[5]
+        assert admit + reject <= 1.05
+        assert admit > 0.5

@@ -1,0 +1,17 @@
+"""Bench E7: the Profiler update-period tradeoff (§4.4)."""
+
+from repro.experiments import e7_update_period
+
+
+def test_e7_update_period(run_experiment):
+    result = run_experiment(e7_update_period)
+    periods = result.column("period_s")
+    updates = result.column("updates/peer/s")
+    staleness = result.column("mean_staleness_s")
+    assert periods == sorted(periods)
+    # Overhead falls as the period grows (~1/period).
+    assert updates[0] > updates[-1] * 2
+    # Staleness grows with the period.
+    assert staleness[-1] > staleness[0]
+    # The system still works across the sweep (soft degradation only).
+    assert all(g > 0.5 for g in result.column("goodput"))

@@ -1,0 +1,17 @@
+"""Bench E8: backup-RM takeover after a primary crash (§4.1)."""
+
+from repro.experiments import e8_failover
+
+
+def test_e8_rm_failover(run_experiment):
+    result = run_experiment(e8_failover)
+    rows = {row[0]: row for row in result.rows}
+    with_backup = rows["yes"]
+    without = rows["no"]
+    # The backup takes over and the domain stays alive.
+    assert with_backup[1] == 1.0          # took_over
+    assert with_backup[2] > 0             # detection delay measured
+    assert with_backup[5] == 1.0          # an active RM at the end
+    assert without[1] == 0.0 and without[5] == 0.0
+    # Far fewer queries are lost with a backup.
+    assert with_backup[3] < without[3]

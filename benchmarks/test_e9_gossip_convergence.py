@@ -1,0 +1,18 @@
+"""Bench E9: gossip convergence of inter-domain summaries (§4.4)."""
+
+from repro.experiments import e9_gossip
+
+
+def test_e9_gossip_convergence(run_experiment):
+    result = run_experiment(e9_gossip)
+    # Every configuration converges.
+    assert all(c == 1.0 for c in result.column("converged"))
+    rows = result.rows
+    # Higher fanout never converges slower at equal domain count.
+    by_domains = {}
+    for domains, fanout, _conv, time_s, _rounds in rows:
+        by_domains.setdefault(domains, {})[fanout] = time_s
+    for domains, per_fanout in by_domains.items():
+        fanouts = sorted(per_fanout)
+        if len(fanouts) >= 2:
+            assert per_fanout[fanouts[-1]] <= per_fanout[fanouts[0]] + 1e-9

@@ -1,0 +1,43 @@
+"""Benches F1-F3: the paper's three figures as executable artifacts."""
+
+from repro.experiments import (
+    f1_graph_example,
+    f2_walkthrough,
+    f3_allocation_algorithm,
+)
+
+
+def test_f1_graph_example(run_experiment):
+    result = run_experiment(f1_graph_example)
+    # The three candidate paths of §4.3, in BFS order.
+    assert result.column("path") == [
+        "{e1,e2}", "{e1,e3}", "{e1,e4,e5,e8}",
+    ]
+    # Exactly one path is chosen, by max fairness.
+    chosen = [r for r in result.rows if r[-1].strip()]
+    assert len(chosen) == 1
+    fairness = result.column("fairness")
+    assert max(fairness) == chosen[0][3]
+
+
+def test_f2_walkthrough(run_experiment):
+    result = run_experiment(f2_walkthrough)
+    stages = result.column("stage")
+    # A -> B -> C in order: query, assignment, streaming.
+    assert stages[0] == "A"
+    assert "B" in stages and "C" in stages
+    assert stages.index("B") < len(stages) - stages[::-1].index("C")
+    times = result.column("t_sim_s")
+    assert times == sorted(times)
+    assert result.extra["task"].outcome.value == "met"
+
+
+def test_f3_allocation_algorithm(run_experiment):
+    result = run_experiment(f3_allocation_algorithm)
+    gaps = result.column("fairness_gap")
+    # The paper BFS is near-optimal: small positive gap.
+    assert all(0.0 <= g < 0.2 for g in gaps)
+    # And far cheaper than exhaustive enumeration on larger graphs.
+    paper_cost = result.column("examined_paper")
+    exh_cost = result.column("examined_exh")
+    assert exh_cost[-1] > 2 * paper_cost[-1]

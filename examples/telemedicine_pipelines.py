@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Tele-medicine sensor pipelines on the same middleware.
+
+§1 motivates the architecture with applications beyond media —
+including tele-medicine.  This example runs the identical resource-
+management stack (Resource Managers, Fig-3 allocation, Profilers,
+repair) on a completely different application domain: physiological
+sensor recordings (ECG/EEG/SpO2) that must be filtered, downsampled,
+compressed or scanned for events by services hosted at peers before
+delivery to a clinician's device.
+
+No line of `repro.core` changes: only the catalog (what the states and
+services *are*) is swapped — the proof that the middleware is
+application-neutral.
+
+Run:  python examples/telemedicine_pipelines.py
+"""
+
+import numpy as np
+
+from repro.common.util import fmt_table
+from repro.core.manager import RMConfig
+from repro.metrics import MetricsCollector
+from repro.net import DomainAwareLatency, Network
+from repro.overlay import OverlayNetwork
+from repro.pipelines import DataForm, PipelineCatalog, SensorRecording
+from repro.sim import Environment, RandomStreams
+from repro.workloads.arrivals import TaskArrivalProcess, WorkloadConfig
+from repro.workloads.population import PopulationConfig, generate_specs
+
+
+def main() -> None:
+    streams = RandomStreams(2026)
+    env = Environment()
+    network = Network(env, bandwidth=2.5e5)  # sensor links are slow
+    metrics = MetricsCollector(env)
+    overlay = OverlayNetwork(
+        env, network,
+        rm_config=RMConfig(max_peers=10, canonical_duration=60.0),
+        on_task_event=metrics.on_task_event,
+        streams=streams,
+    )
+    network.latency = DomainAwareLatency(
+        overlay.domain_of.get, intra=0.008, inter=0.060,
+        rng=streams.get("latency"),
+    )
+
+    # --- the pipeline domain: catalog + recordings -----------------------
+    catalog = PipelineCatalog()
+    rng = streams.get("population")
+    recordings = [
+        SensorRecording(f"patient{i}-{kind}", form, duration_s=60.0)
+        for i, (kind, form) in enumerate(
+            (f.kind, f) for f in catalog.source_formats() for _ in range(3)
+        )
+    ]
+    pop = PopulationConfig(
+        n_peers=18, n_objects=len(recordings), replication=2,
+        services_per_peer=8,
+    )
+    # The generic population generator runs on the pipeline catalog
+    # thanks to the shared catalog protocol.
+    specs = generate_specs(
+        catalog, pop, rng,
+        objects=recordings, id_prefix="node",
+    )
+    for spec in specs:
+        overlay.join(spec)
+    print(f"overlay: {overlay.n_peers} nodes in {overlay.n_domains} "
+          f"domains; {len(recordings)} recordings; "
+          f"{len(catalog.stages())} pipeline-stage types")
+
+    # --- clinicians request processed signals -----------------------------
+    workload = TaskArrivalProcess(
+        overlay, catalog, recordings,
+        config=WorkloadConfig(rate=0.6, deadline_slack=4.0),
+        rng=streams.get("arrivals"),
+    )
+    metrics.start_sampling(overlay, period=1.0)
+    env.run(until=400.0)
+    workload.stop()
+    env.run(until=460.0)
+
+    summary = metrics.summary(net_stats=network.stats)
+    print()
+    print(fmt_table(
+        ["metric", "value"],
+        [[k, v if not isinstance(v, float) else f"{v:.3f}"]
+         for k, v in summary.row().items()],
+    ))
+
+    # Show one concrete allocation: what pipeline did a task get?
+    done = [
+        t for t in metrics.tasks.values()
+        if t.outcome is not None and t.outcome.value == "met"
+        and len(t.allocation) >= 2
+    ]
+    if done:
+        task = done[0]
+        print(f"\nexample pipeline for {task.name!r} "
+              f"(goal {task.goal_state}):")
+        for service_id, peer in task.allocation:
+            print(f"  {service_id}  @ {peer}")
+    assert summary.goodput > 0.7, "pipeline domain should mostly work"
+    print("\nsame middleware, different application domain — no core "
+          "changes required")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Analytical models used to sanity-check the simulator.
+
+Closed-form queueing results (M/M/1, M/D/1) against which the
+processor + Poisson-arrival pipeline is validated in
+``tests/test_analysis.py`` — if the simulated mean response time of a
+single FIFO peer under Poisson load diverges from M/D/1, the substrate
+is wrong and every experiment above it is suspect.
+"""
+
+from repro.analysis.queueing import (
+    md1_mean_response,
+    md1_mean_wait,
+    mm1_mean_response,
+    mm1_mean_wait,
+    utilization,
+)
+
+__all__ = [
+    "md1_mean_response",
+    "md1_mean_wait",
+    "mm1_mean_response",
+    "mm1_mean_wait",
+    "utilization",
+]

@@ -1,0 +1,53 @@
+"""Single-server queueing formulas (Poisson arrivals).
+
+Notation: arrival rate ``lam`` (jobs/s), mean service time ``s``
+(seconds/job), utilization ``rho = lam * s``; all formulas require
+``rho < 1`` (a stable queue).
+"""
+
+from __future__ import annotations
+
+
+def _check(lam: float, s: float) -> float:
+    if lam <= 0:
+        raise ValueError(f"arrival rate must be positive, got {lam}")
+    if s <= 0:
+        raise ValueError(f"service time must be positive, got {s}")
+    rho = lam * s
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return rho
+
+
+def utilization(lam: float, s: float) -> float:
+    """Offered utilization ``rho = lam * s``."""
+    if lam < 0 or s < 0:
+        raise ValueError("negative inputs")
+    return lam * s
+
+
+def mm1_mean_wait(lam: float, s: float) -> float:
+    """M/M/1 mean time in queue (excluding service)."""
+    rho = _check(lam, s)
+    return rho * s / (1.0 - rho)
+
+
+def mm1_mean_response(lam: float, s: float) -> float:
+    """M/M/1 mean sojourn time (queue + service): ``s / (1 - rho)``."""
+    rho = _check(lam, s)
+    return s / (1.0 - rho)
+
+
+def md1_mean_wait(lam: float, s: float) -> float:
+    """M/D/1 mean time in queue: ``rho s / (2 (1 - rho))``.
+
+    Deterministic service — exactly the case of identical transcoding
+    jobs on one peer, which is why the validation tests use it.
+    """
+    rho = _check(lam, s)
+    return rho * s / (2.0 * (1.0 - rho))
+
+
+def md1_mean_response(lam: float, s: float) -> float:
+    """M/D/1 mean sojourn time (queue + service)."""
+    return md1_mean_wait(lam, s) + s

@@ -1,0 +1,34 @@
+"""Baseline allocation policies for the E1/E2/E10 comparisons.
+
+All baselines share the paper's search and feasibility machinery
+(:class:`repro.core.allocation.Allocator`) and differ only in the
+*selection rule* among feasible candidates:
+
+========================  ==================================================
+``fairness`` (the paper)  maximize the post-assignment Jain fairness index
+``first``                 first feasible path in BFS order (fairness-blind)
+``random``                uniform over feasible candidates
+``least_loaded``          greedy: minimize the maximum post-assignment
+                          utilization among touched peers
+``round_robin``           rotate assignments across peers (classic ORB load
+                          balancing strategy, §5 related work)
+========================  ==================================================
+"""
+
+from repro.baselines.selectors import (
+    LeastLoadedSelector,
+    RandomSelector,
+    RoundRobinSelector,
+    make_allocator,
+    make_selector,
+    select_first,
+)
+
+__all__ = [
+    "LeastLoadedSelector",
+    "RandomSelector",
+    "RoundRobinSelector",
+    "make_allocator",
+    "make_selector",
+    "select_first",
+]

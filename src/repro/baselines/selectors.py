@@ -1,0 +1,98 @@
+"""Candidate-selection rules implementing the baseline policies."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.allocation import (
+    Allocator,
+    Candidate,
+    Selector,
+    select_max_fairness,
+)
+from repro.core.estimate import CompletionTimeEstimator
+
+
+def select_first(candidates: List[Candidate]) -> Candidate:
+    """First feasible path in search order — fairness-blind BFS."""
+    return candidates[0]
+
+
+class RandomSelector:
+    """Uniform choice among feasible candidates."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, candidates: List[Candidate]) -> Candidate:
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+
+class LeastLoadedSelector:
+    """Greedy: minimize the max post-assignment utilization.
+
+    The "centralized greedy" reference the paper cites ([17], §4.2) —
+    good at avoiding hot spots but blind to distribution shape.
+    """
+
+    def __call__(self, candidates: List[Candidate]) -> Candidate:
+        return min(candidates, key=lambda c: (c.max_post_util, c.est_time))
+
+
+class RoundRobinSelector:
+    """Rotate load across peers: pick the candidate whose peers have
+    been used least recently/often by this selector (the classic
+    middleware load-balancing strategy of the related work, [16])."""
+
+    def __init__(self) -> None:
+        self._use_counts: Dict[str, int] = {}
+
+    def __call__(self, candidates: List[Candidate]) -> Candidate:
+        def burden(cand: Candidate) -> tuple[int, float]:
+            return (
+                sum(self._use_counts.get(p, 0) for p in cand.peers()),
+                cand.est_time,
+            )
+
+        winner = min(candidates, key=burden)
+        for peer in winner.peers():
+            self._use_counts[peer] = self._use_counts.get(peer, 0) + 1
+        return winner
+
+
+_NAMES = ("fairness", "first", "random", "least_loaded", "round_robin")
+
+
+def make_selector(
+    name: str, rng: Optional[np.random.Generator] = None
+) -> Selector:
+    """Build a selector by table name."""
+    if name == "fairness":
+        return select_max_fairness
+    if name == "first":
+        return select_first
+    if name == "random":
+        return RandomSelector(rng)
+    if name == "least_loaded":
+        return LeastLoadedSelector()
+    if name == "round_robin":
+        return RoundRobinSelector()
+    raise ValueError(f"unknown selector {name!r}; known: {_NAMES}")
+
+
+def make_allocator(
+    policy: str = "fairness",
+    rng: Optional[np.random.Generator] = None,
+    visited_policy: str = "paper",
+    estimator: Optional[CompletionTimeEstimator] = None,
+    max_expansions: int = 100_000,
+) -> Allocator:
+    """An :class:`Allocator` configured for one named policy."""
+    return Allocator(
+        estimator=estimator or CompletionTimeEstimator(),
+        visited_policy=visited_policy,
+        selector=make_selector(policy, rng),
+        max_expansions=max_expansions,
+    )

@@ -1,0 +1,24 @@
+"""Shared identifiers, errors and small utilities."""
+
+from repro.common.errors import (
+    AllocationError,
+    AdmissionRejected,
+    ConfigError,
+    NoFeasibleAllocation,
+    ReproError,
+    UnknownPeer,
+)
+from repro.common.util import EWMA, clamp, fmt_table, percentile
+
+__all__ = [
+    "AllocationError",
+    "AdmissionRejected",
+    "ConfigError",
+    "EWMA",
+    "NoFeasibleAllocation",
+    "ReproError",
+    "UnknownPeer",
+    "clamp",
+    "fmt_table",
+    "percentile",
+]

@@ -1,0 +1,78 @@
+"""Protocol message kinds and payload schemas (peer <-> RM <-> RM).
+
+All payloads are plain dicts of JSON-able values plus task/step objects
+where noted; sizes are rough wire estimates that drive transmission
+delay and the message-overhead accounting of experiments E4/E7.
+"""
+
+from __future__ import annotations
+
+# -- peer -> RM ------------------------------------------------------------
+#: Periodic Profiler report; doubles as the peer's liveness heartbeat.
+LOAD_UPDATE = "load_update"
+#: A user query: run task `name` with QoS q (Fig. 2(A)).
+TASK_REQUEST = "task_request"
+#: A step of a running task finished at this peer (progress tracking).
+STEP_DONE = "step_done"
+#: The final stream arrived at the sink: the task is complete.
+TASK_DONE = "task_done"
+#: Graceful departure announcement.
+PEER_LEAVE = "peer_leave"
+#: The user changed a running task's QoS requirements (§4.5).
+QOS_UPDATE = "qos_update"
+
+# -- RM -> peer ---------------------------------------------------------------
+#: Reply to TASK_REQUEST: accepted (with allocation) or rejected.
+TASK_ACK = "task_ack"
+#: Graph-composition message: the service graph a participant is part of.
+COMPOSE = "compose"
+#: Instruction to (re)start streaming from a given step index.
+START_STREAM = "start_stream"
+#: Cancel a task's local jobs (reassignment pulled it away).
+CANCEL_TASK = "cancel_task"
+
+# -- peer <-> peer ------------------------------------------------------------
+#: A chunk of stream data moving along the service chain.
+STREAM = "stream"
+
+# -- RM <-> RM -----------------------------------------------------------------
+#: A task redirected from an overloaded/uncovered domain (§4.5).
+TASK_REDIRECT = "task_redirect"
+#: Gossip digest exchange (inter-domain summaries, §4.4).
+GOSSIP_DIGEST = "gossip_digest"
+#: Gossip payload: summaries newer than the digest.
+GOSSIP_SUMMARIES = "gossip_summaries"
+#: Primary -> backup state replication (§4.1).
+RM_SYNC = "rm_sync"
+#: Backup announcing takeover to domain members (§4.1).
+RM_TAKEOVER = "rm_takeover"
+
+# -- overlay management ----------------------------------------------------------
+JOIN_REQUEST = "join_request"
+JOIN_ACK = "join_ack"
+
+#: Nominal wire sizes (bytes) per message kind, for overhead accounting.
+MESSAGE_SIZES = {
+    LOAD_UPDATE: 256.0,
+    TASK_REQUEST: 512.0,
+    STEP_DONE: 96.0,
+    TASK_DONE: 128.0,
+    PEER_LEAVE: 64.0,
+    QOS_UPDATE: 96.0,
+    TASK_ACK: 256.0,
+    COMPOSE: 1024.0,
+    START_STREAM: 128.0,
+    CANCEL_TASK: 96.0,
+    TASK_REDIRECT: 768.0,
+    GOSSIP_DIGEST: 256.0,
+    GOSSIP_SUMMARIES: 2048.0,
+    RM_SYNC: 4096.0,
+    RM_TAKEOVER: 128.0,
+    JOIN_REQUEST: 256.0,
+    JOIN_ACK: 256.0,
+}
+
+
+def size_of(kind: str) -> float:
+    """Nominal wire size for *kind* (default 256 B)."""
+    return MESSAGE_SIZES.get(kind, 256.0)

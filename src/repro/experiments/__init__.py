@@ -1,0 +1,36 @@
+"""The experiment harness: one module per reproduced figure/claim.
+
+Each experiment module exposes ``run(quick=False) -> ExperimentResult``;
+the result carries the table the experiment regenerates (see DESIGN.md
+§4 for the experiment index and EXPERIMENTS.md for recorded outcomes).
+``quick=True`` shrinks durations/replications for CI and benchmarks.
+
+Run them all from the command line::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli e1 e2 --quick
+"""
+
+from repro.experiments.base import ExperimentResult, replicate
+
+__all__ = ["ExperimentResult", "replicate"]
+
+#: Registry of experiment ids to module paths (populated lazily by cli).
+EXPERIMENTS = {
+    "f1": "repro.experiments.f1_graph_example",
+    "f2": "repro.experiments.f2_walkthrough",
+    "f3": "repro.experiments.f3_allocation_algorithm",
+    "e1": "repro.experiments.e1_fairness",
+    "e2": "repro.experiments.e2_missrate",
+    "e3": "repro.experiments.e3_scheduling",
+    "e4": "repro.experiments.e4_scalability",
+    "e5": "repro.experiments.e5_churn",
+    "e6": "repro.experiments.e6_admission",
+    "e7": "repro.experiments.e7_update_period",
+    "e8": "repro.experiments.e8_failover",
+    "e9": "repro.experiments.e9_gossip",
+    "e10": "repro.experiments.e10_ablation",
+    "e11": "repro.experiments.e11_importance",
+    "e12": "repro.experiments.e12_loss",
+    "e13": "repro.experiments.e13_adaptive_updates",
+}

@@ -1,0 +1,70 @@
+"""Shared experiment plumbing: results, tables, replication."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.common.util import fmt_table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table (plus free-form notes)."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(list(cells))
+
+    def table(self, floatfmt: str = ".3f") -> str:
+        return fmt_table(self.headers, self.rows, floatfmt=floatfmt)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment_id.upper()}: {self.title} ==",
+               self.table()]
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def column(self, header: str) -> List[Any]:
+        """Extract one column by header name (for tests/plots)."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+def replicate(
+    fn: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, tuple[float, float]]:
+    """Run *fn* per seed; return per-key (mean, std) over replications.
+
+    ``fn`` returns a flat dict of numeric results for one seed.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = fn(seed)
+        for key, value in result.items():
+            samples.setdefault(key, []).append(float(value))
+    return {
+        key: (float(np.mean(vals)), float(np.std(vals)))
+        for key, vals in samples.items()
+    }
+
+
+def seeds_for(quick: bool, full: int = 3) -> List[int]:
+    """Replication seeds: 1 for quick runs, *full* otherwise."""
+    return [1] if quick else list(range(1, full + 1))

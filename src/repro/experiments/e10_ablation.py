@@ -1,0 +1,82 @@
+"""E10 — ablations of the paper's two allocation design choices.
+
+1. **Fairness-max selection** (§4.2/§4.3) vs a fairness-blind
+   first-feasible rule, across increasing peer heterogeneity (CV of
+   processing power) — heterogeneity is where uniform-ish rules break:
+   fast peers should absorb proportionally more work.
+2. **The Fig-3 visited-set BFS** vs exhaustive path enumeration at the
+   full-system level (does the cheaper search hurt end metrics?).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, replicate, seeds_for
+from repro.workloads import (
+    PopulationConfig,
+    ScenarioConfig,
+    WorkloadConfig,
+    build_scenario,
+)
+
+
+def run_once(
+    seed: int,
+    power_cv: float,
+    policy: str,
+    visited: str,
+    duration: float,
+) -> dict:
+    cfg = ScenarioConfig(
+        seed=seed,
+        allocation_policy=policy,
+        visited_policy=visited,
+        population=PopulationConfig(
+            n_peers=16, n_objects=8, replication=2, power_cv=power_cv
+        ),
+        workload=WorkloadConfig(rate=0.8, deadline_slack=2.0),
+    )
+    scenario = build_scenario(cfg)
+    summary = scenario.run(duration=duration, drain=40.0)
+    return {
+        "fairness": summary.mean_fairness,
+        "goodput": summary.goodput,
+        "miss_rate": summary.miss_rate,
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    duration = 150.0 if quick else 350.0
+    cvs = [0.0, 0.8] if quick else [0.0, 0.4, 0.8, 1.2]
+    seeds = seeds_for(quick)
+    result = ExperimentResult(
+        experiment_id="e10",
+        title="Ablations: fairness-max selection and visited-set search",
+        headers=["power_cv", "policy", "search", "fairness", "goodput",
+                 "miss_rate"],
+    )
+    variants = [
+        ("fairness", "paper"),
+        ("first", "paper"),
+        ("fairness", "exhaustive"),
+    ]
+    for cv in cvs:
+        for policy, visited in variants:
+            stats = replicate(
+                lambda seed: run_once(seed, cv, policy, visited, duration),
+                seeds,
+            )
+            result.add_row(
+                cv, policy, visited,
+                stats["fairness"][0], stats["goodput"][0],
+                stats["miss_rate"][0],
+            )
+    result.notes.append(
+        "expected shape: fairness-max holds its fairness advantage as "
+        "heterogeneity grows; exhaustive search buys little over the "
+        "paper BFS at full-system level (validating the cheap search)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,80 @@
+"""E11 (extension) — importance-aware admission under overload.
+
+The paper carries ``Importance_t`` with every task (§3.3: "a metric
+that represents the relative importance of the application") and lists
+"multiple QoS requirements that need to be satisfied simultaneously and
+traded-off" among the §1 challenges, but never specifies an admission
+mechanism that uses it.  This extension experiment evaluates the
+obvious one (RMConfig.importance_admission): when the domain is loaded
+past a threshold, tasks less important than the running average yield
+their slot.
+
+Metric: *value goodput* — importance-weighted completed-in-time work,
+the Jensen-style "overall system benefit" of the §5 related work.
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import RMConfig
+from repro.experiments.base import ExperimentResult, replicate, seeds_for
+from repro.workloads import (
+    PopulationConfig,
+    ScenarioConfig,
+    WorkloadConfig,
+    build_scenario,
+)
+
+
+def run_once(seed: int, gate: bool, rate: float, duration: float) -> dict:
+    cfg = ScenarioConfig(
+        seed=seed,
+        population=PopulationConfig(n_peers=10, n_objects=6),
+        workload=WorkloadConfig(
+            rate=rate, deadline_slack=1.6, importance_range=(1, 9),
+        ),
+        rm=RMConfig(
+            importance_admission=gate,
+            importance_admission_util=0.5,
+        ),
+    )
+    scenario = build_scenario(cfg)
+    summary = scenario.run(duration=duration, drain=40.0)
+    return {
+        "goodput": summary.goodput,
+        "value_goodput": summary.value_goodput,
+        "rejected": summary.rejection_rate,
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    duration = 150.0 if quick else 400.0
+    rates = [5.0] if quick else [1.5, 3.0, 5.0]
+    seeds = seeds_for(quick)
+    result = ExperimentResult(
+        experiment_id="e11",
+        title="Extension: importance-aware admission under overload",
+        headers=["rate/s", "gate", "goodput", "value_goodput",
+                 "reject_rate"],
+    )
+    for rate in rates:
+        for gate in (False, True):
+            stats = replicate(
+                lambda seed: run_once(seed, gate, rate, duration), seeds
+            )
+            result.add_row(
+                rate, "on" if gate else "off",
+                stats["goodput"][0], stats["value_goodput"][0],
+                stats["rejected"][0],
+            )
+    result.notes.append(
+        "expected shape: at deep saturation the gate trades raw goodput "
+        "for (slightly) higher value goodput — important tasks keep the "
+        "reserved slice; below saturation it is inert-to-neutral. The "
+        "gain is modest: a reservation only helps when admission, not "
+        "deadline slack, is the binding constraint."
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

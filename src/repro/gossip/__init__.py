@@ -1,0 +1,10 @@
+"""Lazy inter-domain dissemination of summaries via gossip (§4.4).
+
+"the summaries ... have to be updated only when peers join or leave the
+system. Hence, a gossiping protocol ... should suffice for lazily
+propagating changes among the Resource Managers."
+"""
+
+from repro.gossip.agent import GossipAgent, GossipConfig
+
+__all__ = ["GossipAgent", "GossipConfig"]

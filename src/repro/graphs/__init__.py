@@ -1,0 +1,24 @@
+"""Resource graph ``G_r`` and service graph ``G_s`` (paper §3.3–3.4).
+
+* The **resource graph** is the Resource Manager's map of its domain:
+  vertices are *application states* (for transcoding: media formats) and
+  edges are *service instances* hosted at specific peers, annotated with
+  the work they cost and the bytes they emit.
+* A **service graph** is carved out of the resource graph for one task:
+  the concrete sequence of service invocations (with their hosting
+  peers) that takes the application from its initial to its requested
+  state.
+"""
+
+from repro.graphs.resource_graph import ResourceGraph, ServiceEdge
+from repro.graphs.search import PathSearch, iter_paths
+from repro.graphs.service_graph import ServiceGraph, ServiceStep
+
+__all__ = [
+    "PathSearch",
+    "ResourceGraph",
+    "ServiceEdge",
+    "ServiceGraph",
+    "ServiceStep",
+    "iter_paths",
+]

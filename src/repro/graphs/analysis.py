@@ -1,0 +1,134 @@
+"""Resource-graph analysis: NetworkX bridge, vulnerability, DOT export.
+
+The Resource Manager can ask structural questions about its domain —
+*which peers is the service fabric most dependent on?* — and operators
+can dump the graphs for visualization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set
+
+import networkx as nx
+
+from repro.graphs.resource_graph import ResourceGraph
+from repro.graphs.service_graph import ServiceGraph
+
+
+def to_networkx(graph: ResourceGraph) -> "nx.MultiDiGraph":
+    """Convert a resource graph to a NetworkX multidigraph.
+
+    Vertices keep their state objects as node keys; each edge carries
+    ``service_id``, ``peer_id``, ``work`` and ``out_bytes`` attributes
+    and is keyed by its ``edge_id``.
+    """
+    g = nx.MultiDiGraph()
+    for state in graph.states:
+        g.add_node(state)
+    for edge in graph.edges():
+        g.add_edge(
+            edge.src, edge.dst, key=edge.edge_id,
+            service_id=edge.service_id, peer_id=edge.peer_id,
+            work=edge.work, out_bytes=edge.out_bytes,
+        )
+    return g
+
+
+def reachable_states(
+    graph: ResourceGraph, v_init: Hashable
+) -> Set[Hashable]:
+    """All application states reachable from ``v_init``."""
+    if not graph.has_state(v_init):
+        return set()
+    g = to_networkx(graph)
+    return set(nx.descendants(g, v_init)) | {v_init}
+
+
+def critical_peers(
+    graph: ResourceGraph, v_init: Hashable, v_sol: Hashable
+) -> List[str]:
+    """Peers whose departure would disconnect ``v_init`` from ``v_sol``.
+
+    The §4.1 repair mechanism can only substitute a failed peer if an
+    alternative route exists; a *critical* peer has no such alternative
+    — useful for provisioning decisions (host another instance!).
+    """
+    if not graph.has_state(v_init) or not graph.has_state(v_sol):
+        return []
+    base = to_networkx(graph)
+    if not nx.has_path(base, v_init, v_sol):
+        return []
+    critical = []
+    for peer in graph.peers():
+        pruned = graph.copy()
+        pruned.remove_peer(peer)
+        g = to_networkx(pruned)
+        if not (
+            g.has_node(v_init)
+            and g.has_node(v_sol)
+            and nx.has_path(g, v_init, v_sol)
+        ):
+            critical.append(peer)
+    return critical
+
+
+def peer_centrality(graph: ResourceGraph) -> Dict[str, float]:
+    """Fraction of all service instances each peer hosts.
+
+    A crude load-exposure indicator: a peer hosting most of the edges
+    will attract most assignments whatever the balancing policy does.
+    """
+    total = graph.n_edges
+    if total == 0:
+        return {}
+    counts: Dict[str, int] = {}
+    for edge in graph.edges():
+        counts[edge.peer_id] = counts.get(edge.peer_id, 0) + 1
+    return {p: c / total for p, c in counts.items()}
+
+
+def _dot_escape(value: object) -> str:
+    return str(value).replace('"', r"\"")
+
+
+def resource_graph_to_dot(graph: ResourceGraph, name: str = "Gr") -> str:
+    """Render a resource graph as Graphviz DOT text (Figure 1(A) style)."""
+    lines = [f'digraph "{_dot_escape(name)}" {{', "  rankdir=LR;"]
+    states = {state: f"v{i}" for i, state in enumerate(graph.states)}
+    for state, node_id in states.items():
+        lines.append(
+            f'  {node_id} [label="{_dot_escape(state)}", shape=circle];'
+        )
+    for edge in graph.edges():
+        lines.append(
+            f"  {states[edge.src]} -> {states[edge.dst]} "
+            f'[label="{_dot_escape(edge.edge_id)}\\n'
+            f'{_dot_escape(edge.service_id)}@{_dot_escape(edge.peer_id)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def service_graph_to_dot(graph: ServiceGraph, name: str = "Gs") -> str:
+    """Render a service graph as DOT (Figure 1(B) style chain)."""
+    lines = [f'digraph "{_dot_escape(name)}" {{', "  rankdir=LR;"]
+    lines.append(
+        f'  src [label="source\\n{_dot_escape(graph.source_peer)}", '
+        "shape=box];"
+    )
+    prev = "src"
+    for step in graph.steps:
+        node = f"s{step.index}"
+        lines.append(
+            f'  {node} [label="{_dot_escape(step.service_id)}\\n'
+            f'@{_dot_escape(step.peer_id)}", shape=box];'
+        )
+        lines.append(f"  {prev} -> {node};")
+        prev = node
+    lines.append(
+        f'  sink [label="sink\\n{_dot_escape(graph.sink_peer)}", '
+        "shape=box];"
+    )
+    lines.append(f"  {prev} -> sink;")
+    lines.append("}")
+    return "\n".join(lines)

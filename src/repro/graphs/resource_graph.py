@@ -1,0 +1,187 @@
+"""The resource graph ``G_r``: domain states and service instances."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Optional
+
+_edge_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServiceEdge:
+    """One service instance: a directed edge of ``G_r``.
+
+    Attributes
+    ----------
+    src, dst:
+        Application states (resource-graph vertices) this service
+        converts between.
+    service_id:
+        The service *type* (e.g. a :class:`~repro.media.TranscoderSpec`
+        id); several peers may host instances of the same type.
+    peer_id:
+        The hosting peer — executing this edge puts load on that peer.
+    work:
+        CPU work units consumed per execution (for the task's full
+        stream).
+    out_bytes:
+        Bytes this service emits downstream per execution.
+    edge_id:
+        Unique label (``e1``, ``e2``, ... in Figure 1).
+    """
+
+    src: Hashable
+    dst: Hashable
+    service_id: str
+    peer_id: str
+    work: float
+    out_bytes: float = 0.0
+    edge_id: str = field(default_factory=lambda: f"e{next(_edge_counter)}")
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"negative work {self.work}")
+        if self.out_bytes < 0:
+            raise ValueError(f"negative out_bytes {self.out_bytes}")
+
+    def __str__(self) -> str:
+        return f"{self.edge_id}[{self.service_id}@{self.peer_id}]"
+
+
+class ResourceGraph:
+    """Directed multigraph of application states and service instances.
+
+    Vertices are arbitrary hashable application states; parallel edges
+    (several services, or the same service type on several peers, between
+    the same pair of states) are first-class, exactly as in Figure 1
+    where edges ``e2`` and ``e3`` both connect ``v2`` to ``v3``.
+    """
+
+    def __init__(self) -> None:
+        self._vertices: Dict[Hashable, None] = {}
+        self._out: Dict[Hashable, List[ServiceEdge]] = {}
+        self._in: Dict[Hashable, List[ServiceEdge]] = {}
+        self._edges: Dict[str, ServiceEdge] = {}
+
+    # -- vertices -----------------------------------------------------------
+    def add_state(self, state: Hashable) -> None:
+        """Add an application state (idempotent)."""
+        if state not in self._vertices:
+            self._vertices[state] = None
+            self._out[state] = []
+            self._in[state] = []
+
+    def has_state(self, state: Hashable) -> bool:
+        return state in self._vertices
+
+    @property
+    def states(self) -> List[Hashable]:
+        """All states, in insertion order."""
+        return list(self._vertices)
+
+    # -- edges ------------------------------------------------------------------
+    def add_service(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        service_id: str,
+        peer_id: str,
+        work: float,
+        out_bytes: float = 0.0,
+        edge_id: Optional[str] = None,
+        **meta: Any,
+    ) -> ServiceEdge:
+        """Add a service instance edge; endpoints are created as needed."""
+        self.add_state(src)
+        self.add_state(dst)
+        kwargs: Dict[str, Any] = dict(
+            src=src,
+            dst=dst,
+            service_id=service_id,
+            peer_id=peer_id,
+            work=work,
+            out_bytes=out_bytes,
+            meta=meta,
+        )
+        if edge_id is not None:
+            kwargs["edge_id"] = edge_id
+        edge = ServiceEdge(**kwargs)
+        if edge.edge_id in self._edges:
+            raise ValueError(f"duplicate edge id {edge.edge_id!r}")
+        self._edges[edge.edge_id] = edge
+        self._out[src].append(edge)
+        self._in[dst].append(edge)
+        return edge
+
+    def remove_edge(self, edge_id: str) -> None:
+        """Remove one service instance."""
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            return
+        self._out[edge.src].remove(edge)
+        self._in[edge.dst].remove(edge)
+
+    def remove_peer(self, peer_id: str) -> List[ServiceEdge]:
+        """Remove every edge hosted at *peer_id* (peer disconnect, §4.1).
+
+        Returns the removed edges so callers can identify affected tasks.
+        """
+        doomed = [e for e in self._edges.values() if e.peer_id == peer_id]
+        for edge in doomed:
+            self.remove_edge(edge.edge_id)
+        return doomed
+
+    def edge(self, edge_id: str) -> ServiceEdge:
+        """Look up an edge by id."""
+        return self._edges[edge_id]
+
+    def has_edge(self, edge_id: str) -> bool:
+        return edge_id in self._edges
+
+    def out_edges(self, state: Hashable) -> List[ServiceEdge]:
+        """Edges leaving *state* (``E_out`` of §3.4)."""
+        return list(self._out.get(state, ()))
+
+    def in_edges(self, state: Hashable) -> List[ServiceEdge]:
+        """Edges entering *state* (``E_in`` of §3.4)."""
+        return list(self._in.get(state, ()))
+
+    def edges(self) -> Iterator[ServiceEdge]:
+        """All edges, in insertion order."""
+        return iter(list(self._edges.values()))
+
+    def edges_at_peer(self, peer_id: str) -> List[ServiceEdge]:
+        """All service instances hosted by one peer."""
+        return [e for e in self._edges.values() if e.peer_id == peer_id]
+
+    @property
+    def n_states(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def peers(self) -> List[str]:
+        """Distinct hosting peers, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for e in self._edges.values():
+            seen.setdefault(e.peer_id, None)
+        return list(seen)
+
+    def copy(self) -> "ResourceGraph":
+        """Shallow structural copy (edges are immutable, safe to share)."""
+        g = ResourceGraph()
+        for v in self._vertices:
+            g.add_state(v)
+        for e in self._edges.values():
+            g._edges[e.edge_id] = e
+            g._out[e.src].append(e)
+            g._in[e.dst].append(e)
+        return g
+
+    def __repr__(self) -> str:
+        return f"<ResourceGraph states={self.n_states} edges={self.n_edges}>"

@@ -1,0 +1,175 @@
+"""Path enumeration over the resource graph (the search of Fig. 3).
+
+Two *visited policies* are provided:
+
+``"paper"``
+    Faithful to the Figure-3 pseudocode: a breadth-first search in which
+    an intermediate vertex is marked *visited* when it is first expanded,
+    so later paths through it are pruned.  The goal vertex is never
+    marked, so every edge reaching it yields a candidate (this is what
+    makes the fairness comparison in Fig. 3 meaningful — in Figure 1
+    both ``{e1,e2}`` and ``{e1,e3}`` are considered).  Cheap — O(V+E)
+    expansions — but may miss the globally best path; experiment F3
+    quantifies the gap.
+
+``"exhaustive"``
+    Enumerates *all* simple paths (no repeated vertex within a path),
+    depth-first, up to an expansion budget.  Exponential in the worst
+    case; used by the optimal baseline and in tests as ground truth.
+
+Both yield paths as lists of :class:`ServiceEdge` and accept a
+``feasible`` predicate applied to every path *prefix* — infeasible
+prefixes are pruned immediately, mirroring Fig. 3's "fulfills
+requirements in q" check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterator, List, Optional
+
+from repro.graphs.resource_graph import ResourceGraph, ServiceEdge
+
+Path = List[ServiceEdge]
+FeasiblePredicate = Callable[[Path], bool]
+
+
+def iter_paths(
+    graph: ResourceGraph,
+    v_init: Hashable,
+    v_sol: Hashable,
+    visited_policy: str = "paper",
+    feasible: Optional[FeasiblePredicate] = None,
+    max_expansions: int = 100_000,
+) -> Iterator[Path]:
+    """Yield candidate execution sequences from ``v_init`` to ``v_sol``.
+
+    Parameters
+    ----------
+    graph:
+        The domain resource graph.
+    v_init, v_sol:
+        Initial and required application states.  A missing ``v_init``
+        or ``v_sol`` yields no paths (the RM then reports "no feasible
+        allocation", §4.3).
+    visited_policy:
+        ``"paper"`` or ``"exhaustive"`` (see module docstring).
+    feasible:
+        Optional prefix-feasibility predicate; prefixes failing it are
+        pruned (and never extended).
+    max_expansions:
+        Safety budget on vertex expansions.
+    """
+    if visited_policy == "paper":
+        yield from _bfs_paper(graph, v_init, v_sol, feasible, max_expansions)
+    elif visited_policy == "exhaustive":
+        yield from _dfs_simple(graph, v_init, v_sol, feasible, max_expansions)
+    else:
+        raise ValueError(
+            f"unknown visited_policy {visited_policy!r}; "
+            "use 'paper' or 'exhaustive'"
+        )
+
+
+def _bfs_paper(
+    graph: ResourceGraph,
+    v_init: Hashable,
+    v_sol: Hashable,
+    feasible: Optional[FeasiblePredicate],
+    max_expansions: int,
+) -> Iterator[Path]:
+    if not graph.has_state(v_init) or not graph.has_state(v_sol):
+        return
+    if v_init == v_sol:
+        # Already in the requested state: the empty sequence solves it.
+        if feasible is None or feasible([]):
+            yield []
+        return
+    queue: deque[tuple[Hashable, Path]] = deque([(v_init, [])])
+    visited: set[Hashable] = set()
+    expansions = 0
+    while queue:
+        v, seq = queue.popleft()
+        if feasible is not None and not feasible(seq):
+            continue
+        if v == v_sol:
+            yield seq
+            continue
+        if v in visited:
+            continue
+        visited.add(v)
+        expansions += 1
+        if expansions > max_expansions:
+            return
+        for edge in graph.out_edges(v):
+            queue.append((edge.dst, seq + [edge]))
+
+
+def _dfs_simple(
+    graph: ResourceGraph,
+    v_init: Hashable,
+    v_sol: Hashable,
+    feasible: Optional[FeasiblePredicate],
+    max_expansions: int,
+) -> Iterator[Path]:
+    if not graph.has_state(v_init) or not graph.has_state(v_sol):
+        return
+    if v_init == v_sol:
+        if feasible is None or feasible([]):
+            yield []
+        return
+    budget = [max_expansions]
+
+    def dfs(v: Hashable, seq: Path, on_path: set[Hashable]) -> Iterator[Path]:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        for edge in graph.out_edges(v):
+            nxt = edge.dst
+            if nxt in on_path:
+                continue
+            new_seq = seq + [edge]
+            if feasible is not None and not feasible(new_seq):
+                continue
+            if nxt == v_sol:
+                yield new_seq
+                continue
+            on_path.add(nxt)
+            yield from dfs(nxt, new_seq, on_path)
+            on_path.discard(nxt)
+
+    yield from dfs(v_init, [], {v_init})
+
+
+class PathSearch:
+    """Convenience wrapper bundling a graph with search settings."""
+
+    def __init__(
+        self,
+        graph: ResourceGraph,
+        visited_policy: str = "paper",
+        max_expansions: int = 100_000,
+    ) -> None:
+        if visited_policy not in ("paper", "exhaustive"):
+            raise ValueError(f"unknown visited_policy {visited_policy!r}")
+        self.graph = graph
+        self.visited_policy = visited_policy
+        self.max_expansions = max_expansions
+
+    def paths(
+        self,
+        v_init: Hashable,
+        v_sol: Hashable,
+        feasible: Optional[FeasiblePredicate] = None,
+    ) -> List[Path]:
+        """All candidate paths as a list (see :func:`iter_paths`)."""
+        return list(
+            iter_paths(
+                self.graph,
+                v_init,
+                v_sol,
+                visited_policy=self.visited_policy,
+                feasible=feasible,
+                max_expansions=self.max_expansions,
+            )
+        )

@@ -1,0 +1,75 @@
+"""Media formats: (codec, resolution, bitrate) triples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Relative decode+encode complexity per codec (work units per megapixel/s).
+#: MPEG-4 costs more to encode than MPEG-2; raw costs nothing to "decode".
+CODEC_COMPLEXITY: dict[str, float] = {
+    "RAW": 0.2,
+    "MJPEG": 0.6,
+    "MPEG-2": 1.0,
+    "MPEG-4": 1.6,
+    "H.263": 1.3,
+}
+
+
+@dataclass(frozen=True, order=True)
+class MediaFormat:
+    """An encoded-media format: the vertices of the Figure-1 resource graph.
+
+    Attributes
+    ----------
+    codec:
+        Codec name; must be a key of :data:`CODEC_COMPLEXITY`.
+    width, height:
+        Spatial resolution in pixels.
+    bitrate_kbps:
+        Encoded bitrate in kilobits per second.
+    fps:
+        Frames per second (default 25).
+    """
+
+    codec: str
+    width: int
+    height: int
+    bitrate_kbps: float
+    fps: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.codec not in CODEC_COMPLEXITY:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; known: "
+                f"{sorted(CODEC_COMPLEXITY)}"
+            )
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"invalid resolution {self.width}x{self.height}")
+        if self.bitrate_kbps <= 0:
+            raise ValueError(f"invalid bitrate {self.bitrate_kbps}")
+        if self.fps <= 0:
+            raise ValueError(f"invalid fps {self.fps}")
+
+    @property
+    def pixel_rate(self) -> float:
+        """Pixels per second pushed through a codec at this format."""
+        return self.width * self.height * self.fps
+
+    @property
+    def complexity(self) -> float:
+        """Codec complexity coefficient."""
+        return CODEC_COMPLEXITY[self.codec]
+
+    def bytes_per_second(self) -> float:
+        """Wire bandwidth consumed by a stream in this format."""
+        return self.bitrate_kbps * 1000.0 / 8.0
+
+    def label(self) -> str:
+        """Compact human-readable label (used in graphs and traces)."""
+        return (
+            f"{self.width}x{self.height}/{self.codec}"
+            f"@{self.bitrate_kbps:g}kbps"
+        )
+
+    def __str__(self) -> str:
+        return self.label()

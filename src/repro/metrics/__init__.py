@@ -1,0 +1,6 @@
+"""Run-level metrics: task outcomes, fairness series, overheads."""
+
+from repro.metrics.collector import MetricsCollector, RunSummary
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = ["MetricsCollector", "RunSummary", "TimeSeries"]

@@ -1,0 +1,65 @@
+"""A small timestamped series with time-weighted statistics."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """Timestamped samples with plain and time-weighted aggregation."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def add(self, t: float, v: float) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"timestamp {t} precedes last sample {self.times[-1]}"
+            )
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Unweighted mean of the samples."""
+        if not self.values:
+            raise ValueError("mean of empty series")
+        return float(np.mean(self.values))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by holding time (last sample weight = 0)."""
+        if not self.values:
+            raise ValueError("mean of empty series")
+        if len(self.values) == 1:
+            return float(self.values[0])
+        t = np.asarray(self.times)
+        v = np.asarray(self.values)
+        dt = np.diff(t)
+        total = float(dt.sum())
+        if total <= 0:
+            return float(np.mean(v))
+        return float((v[:-1] * dt).sum() / total)
+
+    def min(self) -> float:
+        if not self.values:
+            raise ValueError("min of empty series")
+        return float(np.min(self.values))
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError("max of empty series")
+        return float(np.max(self.values))
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("last of empty series")
+        return float(self.values[-1])
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)

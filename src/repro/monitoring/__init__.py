@@ -1,0 +1,12 @@
+"""Peer-side monitoring (the paper's Profiler component, §2 / §3.2).
+
+The Profiler measures the peer's current processor load and network
+bandwidth and monitors the computation and communication times of the
+applications as they execute; its measurements are periodically
+propagated to the domain Resource Manager (§4.4, intra-domain
+propagation).
+"""
+
+from repro.monitoring.profiler import LoadReport, Profiler, ServiceObservation
+
+__all__ = ["LoadReport", "Profiler", "ServiceObservation"]

@@ -1,0 +1,108 @@
+"""Latency models for overlay links.
+
+The paper assumes a wide-area environment with *unpredictable* latencies
+and peers grouped into domains by topological proximity; the
+:class:`DomainAwareLatency` model captures exactly that: fast intra-domain
+links, slow inter-domain links, multiplicative jitter on both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+class LatencyModel:
+    """Base class: maps a (src, dst) pair to a one-way delay sample."""
+
+    def sample(self, src: str, dst: str) -> float:
+        """One-way propagation delay in seconds for this transmission."""
+        raise NotImplementedError
+
+    def expected(self, src: str, dst: str) -> float:
+        """Mean delay for planning purposes (no randomness)."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed delay (useful in tests)."""
+
+    def __init__(self, delay: float = 0.01) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.delay = float(delay)
+
+    def sample(self, src: str, dst: str) -> float:
+        return self.delay
+
+    def expected(self, src: str, dst: str) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[lo, hi]`` per transmission."""
+
+    def __init__(
+        self, lo: float, hi: float, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        if not 0 <= lo <= hi:
+            raise ValueError(f"invalid latency range [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample(self, src: str, dst: str) -> float:
+        return float(self.rng.uniform(self.lo, self.hi))
+
+    def expected(self, src: str, dst: str) -> float:
+        return (self.lo + self.hi) / 2.0
+
+
+class DomainAwareLatency(LatencyModel):
+    """Intra-domain links are fast; inter-domain links are slow.
+
+    Parameters
+    ----------
+    domain_of:
+        Maps a node id to its domain id. Nodes whose domain is unknown
+        (callable returns ``None``) are treated as inter-domain.
+    intra, inter:
+        Base one-way delays (seconds) within / across domains.
+    jitter:
+        Multiplicative jitter fraction; each sample is
+        ``base * (1 + U(-jitter, +jitter))``.
+    """
+
+    def __init__(
+        self,
+        domain_of: Callable[[str], Optional[str]],
+        intra: float = 0.005,
+        inter: float = 0.050,
+        jitter: float = 0.3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if intra < 0 or inter < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.domain_of = domain_of
+        self.intra = float(intra)
+        self.inter = float(inter)
+        self.jitter = float(jitter)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _base(self, src: str, dst: str) -> float:
+        ds, dd = self.domain_of(src), self.domain_of(dst)
+        if ds is not None and ds == dd:
+            return self.intra
+        return self.inter
+
+    def sample(self, src: str, dst: str) -> float:
+        base = self._base(src, dst)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + float(self.rng.uniform(-self.jitter, self.jitter)))
+
+    def expected(self, src: str, dst: str) -> float:
+        return self._base(src, dst)

@@ -1,0 +1,61 @@
+"""The message unit exchanged between overlay nodes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_counter = itertools.count(1)
+
+
+def _next_id() -> int:
+    return next(_msg_counter)
+
+
+@dataclass
+class Message:
+    """A point-to-point overlay message.
+
+    Attributes
+    ----------
+    kind:
+        Protocol message type (e.g. ``"task_request"``, ``"load_update"``).
+    src, dst:
+        Node identifiers.
+    payload:
+        Arbitrary content; by convention a dict of plain values.
+    size:
+        Wire size in bytes (drives transmission delay and bandwidth
+        accounting).
+    msg_id:
+        Unique id, assigned automatically.
+    reply_to:
+        For responses: the ``msg_id`` of the request being answered.
+    sent_at:
+        Stamped by the network at send time (simulation seconds).
+    """
+
+    kind: str
+    src: str
+    dst: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size: float = 512.0
+    msg_id: int = field(default_factory=_next_id)
+    reply_to: Optional[int] = None
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"message size must be positive, got {self.size}")
+
+    def is_reply(self) -> bool:
+        """True if this message answers an earlier request."""
+        return self.reply_to is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.kind}, {self.src}->{self.dst}, id={self.msg_id}"
+            + (f", reply_to={self.reply_to}" if self.reply_to else "")
+            + ")"
+        )

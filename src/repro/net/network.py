@@ -1,0 +1,184 @@
+"""The network fabric: registration, delivery, failure injection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
+
+from repro.common.errors import UnknownPeer
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NetNode
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters (per run)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: float = 0.0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Messages addressed to each node (hot-spot analysis, e.g. how much
+    #: traffic a centralized manager terminates).
+    by_dst: Dict[str, int] = field(default_factory=dict)
+
+    def note_send(self, msg: Message) -> None:
+        self.sent += 1
+        self.bytes_sent += msg.size
+        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
+        self.by_dst[msg.dst] = self.by_dst.get(msg.dst, 0) + 1
+
+    def hottest_destination(self) -> tuple[str, int]:
+        """(node, count) of the most-addressed node (("", 0) if none)."""
+        if not self.by_dst:
+            return ("", 0)
+        node = max(self.by_dst, key=self.by_dst.get)
+        return (node, self.by_dst[node])
+
+
+class Network:
+    """Point-to-point message fabric between registered nodes.
+
+    Delivery delay for a message is ``latency.sample(src, dst) +
+    size / bandwidth``; delivery on each ordered (src, dst) pair is FIFO
+    (a later send never overtakes an earlier one), which the protocol
+    layers rely on.
+
+    Failure injection: :meth:`set_down` makes a node unreachable — all
+    traffic from or to it is counted as dropped; :meth:`set_up` restores
+    it.  Node-process shutdown is handled by higher layers (overlay
+    churn); the network only models reachability.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: Optional[LatencyModel] = None,
+        bandwidth: float = 1.25e6,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[Any] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.env = env
+        self.latency = latency if latency is not None else ConstantLatency(0.01)
+        #: Link bandwidth in bytes/second (default 10 Mbit/s).
+        self.bandwidth = float(bandwidth)
+        #: Per-message loss probability (wide-area unreliability; the
+        #: protocol layers tolerate loss through timeouts, liveness
+        #: detection and repair — never through retransmission magic).
+        self.loss_rate = float(loss_rate)
+        self._loss_rng = loss_rng
+        self.tracer = tracer
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, "NetNode"] = {}
+        self._down: Set[str] = set()
+        #: Last scheduled arrival per (src, dst), for FIFO ordering.
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+
+    # -- registration ------------------------------------------------------
+    def register(self, node: "NetNode") -> None:
+        """Attach *node* to the fabric (id must be unique)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: str) -> None:
+        """Permanently remove a node (departed peer)."""
+        self._nodes.pop(node_id, None)
+        self._down.discard(node_id)
+
+    def node(self, node_id: str) -> "NetNode":
+        """Look up a registered node."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownPeer(node_id) from None
+
+    def knows(self, node_id: str) -> bool:
+        """True if *node_id* is registered (up or down)."""
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Ids of all registered nodes."""
+        return list(self._nodes)
+
+    # -- failure injection ---------------------------------------------------
+    def set_down(self, node_id: str) -> None:
+        """Make a node unreachable (crash / disconnect)."""
+        if node_id not in self._nodes:
+            raise UnknownPeer(node_id)
+        self._down.add(node_id)
+
+    def set_up(self, node_id: str) -> None:
+        """Restore a node's reachability."""
+        self._down.discard(node_id)
+
+    def is_up(self, node_id: str) -> bool:
+        """True if the node is registered and not failed."""
+        return node_id in self._nodes and node_id not in self._down
+
+    # -- transmission ---------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Transmit *msg*; delivery is asynchronous.
+
+        Messages from or to unreachable/unknown nodes are silently
+        dropped (and counted), mirroring datagram semantics: peers learn
+        about failures through timeouts, exactly as the paper's RM does
+        when it "senses the withdrawn connection".
+        """
+        msg.sent_at = self.env.now
+        self.stats.note_send(msg)
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "net.send", msg_kind=msg.kind, src=msg.src,
+                dst=msg.dst, size=msg.size,
+            )
+        if not self.is_up(msg.src) or not self.is_up(msg.dst):
+            self.stats.dropped += 1
+            return
+        if self.loss_rate > 0.0:
+            if self._loss_rng is None:
+                import numpy as np
+
+                self._loss_rng = np.random.default_rng(0)
+            if self._loss_rng.random() < self.loss_rate:
+                self.stats.dropped += 1
+                return
+        delay = self.latency.sample(msg.src, msg.dst) + msg.size / self.bandwidth
+        key = (msg.src, msg.dst)
+        arrival = max(self.env.now + delay, self._last_arrival.get(key, 0.0))
+        self._last_arrival[key] = arrival
+        ev = Event(self.env)
+        ev.callbacks.append(lambda _ev, m=msg: self._deliver(m))
+        ev._ok = True
+        ev._value = None
+        self.env.schedule(ev, delay=arrival - self.env.now)
+
+    def _deliver(self, msg: Message) -> None:
+        # The destination may have failed while the message was in flight.
+        if not self.is_up(msg.dst):
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "net.deliver", msg_kind=msg.kind, src=msg.src,
+                dst=msg.dst,
+            )
+        self._nodes[msg.dst].mailbox.put(msg)
+
+    def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:
+        """Planning estimate of one-way delay (used by the RM's cost model)."""
+        return self.latency.expected(src, dst) + size / self.bandwidth

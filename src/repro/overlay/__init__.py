@@ -1,0 +1,30 @@
+"""Overlay construction and management (paper §4.1).
+
+Peers are grouped into domains led by Resource Managers selected among
+regular peers.  This package provides:
+
+* :mod:`repro.overlay.qualification` — the RM eligibility score
+  (bandwidth, processing power, uptime);
+* :mod:`repro.overlay.network` — the :class:`OverlayNetwork` harness:
+  join negotiation (accept / promote-to-new-domain / redirect), domain
+  registry, backup designation;
+* :mod:`repro.overlay.failover` — primary->backup state replication and
+  backup takeover;
+* :mod:`repro.overlay.churn` — peer arrival/departure processes for the
+  dynamic-environment experiments.
+"""
+
+from repro.overlay.churn import ChurnConfig, ChurnProcess
+from repro.overlay.failover import FailoverAgent, FailoverConfig
+from repro.overlay.network import OverlayNetwork, PeerSpec
+from repro.overlay.qualification import QualificationPolicy
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnProcess",
+    "FailoverAgent",
+    "FailoverConfig",
+    "OverlayNetwork",
+    "PeerSpec",
+    "QualificationPolicy",
+]

@@ -1,0 +1,136 @@
+"""Primary -> backup state replication and takeover (§4.1).
+
+"The first peer in the list serves as backup Resource Manager, keeping
+an up-to-date copy of all the information the Resource Manager stores.
+This is achieved by receiving periodic updates from the primary
+Resource Manager.  When a Resource Manager disconnects, the backup
+Resource Manager senses the withdrawn connection. It then takes over as
+a Resource Manager, using its backup copy."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.core import protocol
+from repro.core.manager import ResourceManager
+from repro.net.message import Message
+from repro.sim.events import Event, Interrupt
+
+
+@dataclass
+class FailoverConfig:
+    """Replication and failure-detection tunables."""
+
+    sync_period: float = 5.0
+    #: Declare the primary dead after this many silent sync periods.
+    dead_after_periods: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.sync_period <= 0:
+            raise ValueError("sync_period must be positive")
+        if self.dead_after_periods < 1:
+            raise ValueError("dead_after_periods must be >= 1")
+
+
+class FailoverAgent:
+    """Pairs a primary RM with its passive backup."""
+
+    def __init__(
+        self,
+        primary: ResourceManager,
+        backup: ResourceManager,
+        config: Optional[FailoverConfig] = None,
+        on_takeover: Optional[
+            Callable[[str, ResourceManager], None]
+        ] = None,
+    ) -> None:
+        if backup.active:
+            raise ValueError("backup must be a passive ResourceManager")
+        self.primary = primary
+        self.backup = backup
+        self.config = config or FailoverConfig()
+        self.on_takeover = on_takeover
+        self.last_sync: float = backup.env.now
+        self.last_snapshot: Optional[Dict[str, Any]] = None
+        self.took_over = False
+        self.takeover_time: Optional[float] = None
+
+        # replace=True: a spare from the eligible list may be paired
+        # with a new primary after a takeover.
+        backup.on(protocol.RM_SYNC, self._handle_sync, replace=True)
+        self._sync_proc = primary.env.process(
+            self._sync_loop(), name=f"rm-sync:{primary.node_id}"
+        )
+        self._watch_proc = backup.env.process(
+            self._watch_loop(), name=f"rm-watch:{backup.node_id}"
+        )
+
+    # -- primary side ----------------------------------------------------------
+    def _sync_loop(self) -> Generator[Event, Any, None]:
+        env = self.primary.env
+        try:
+            while True:
+                yield env.timeout(self.config.sync_period)
+                if not self.primary.alive or not self.primary.active:
+                    return
+                self.primary.send(
+                    protocol.RM_SYNC,
+                    self.backup.node_id,
+                    {"snapshot": self.primary.snapshot_state()},
+                    size=protocol.size_of(protocol.RM_SYNC),
+                )
+        except Interrupt:
+            return
+
+    # -- backup side ---------------------------------------------------------------
+    def _handle_sync(self, msg: Message) -> None:
+        self.last_sync = self.backup.env.now
+        self.last_snapshot = msg.payload["snapshot"]
+
+    def _watch_loop(self) -> Generator[Event, Any, None]:
+        env = self.backup.env
+        limit = self.config.dead_after_periods * self.config.sync_period
+        try:
+            while True:
+                yield env.timeout(self.config.sync_period)
+                if self.took_over or not self.backup.alive:
+                    return
+                if env.now - self.last_sync <= limit:
+                    continue
+                self._takeover()
+                return
+        except Interrupt:
+            return
+
+    def _takeover(self) -> None:
+        """The backup becomes the domain's Resource Manager."""
+        self.took_over = True
+        self.takeover_time = self.backup.env.now
+        old_rm_id = self.primary.node_id
+        if self.last_snapshot is not None:
+            self.backup.restore_state(self.last_snapshot)
+        self.backup.activate()
+        # The dead primary is still in the replicated roster: run the
+        # normal departed-peer path so its services are pruned and its
+        # tasks repaired.
+        if self.backup.info.has_peer(old_rm_id):
+            self.backup._peer_down(old_rm_id, graceful=False)
+        if self.on_takeover is not None:
+            self.on_takeover(old_rm_id, self.backup)
+
+    def stop(self) -> None:
+        env = self.backup.env
+        for proc in (self._sync_proc, self._watch_proc):
+            # stop() may be invoked from inside the watch loop itself
+            # (takeover callback); the running process ends on its own.
+            if proc.is_alive and proc is not env.active_process:
+                proc.interrupt("stop")
+
+    @property
+    def recovery_delay(self) -> Optional[float]:
+        """Takeover time minus the last successful sync (E8 metric)."""
+        if self.takeover_time is None:
+            return None
+        return self.takeover_time - self.last_sync

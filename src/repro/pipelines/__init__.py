@@ -1,0 +1,30 @@
+"""A second application domain: distributed sensor-processing pipelines.
+
+§1 motivates the architecture with "multimedia, telecommunications,
+business enterprises and tele-medicine".  This package instantiates the
+tele-medicine case: physiological sensor recordings (ECG, EEG, SpO2)
+that must be filtered, downsampled, compressed or scanned for events by
+services hosted at peers before delivery to a clinician's device — the
+same resource-graph machinery as transcoding, with *data forms* as
+states and *processing stages* as edges.
+
+Nothing in :mod:`repro.core` changes: this package only provides a
+catalog that satisfies the same informal protocol as
+:class:`repro.workloads.MediaCatalog` (``conversions``, ``work_of``,
+``out_bytes_of``, ``reachable_from``, ``source_formats``,
+``canonical_duration``), proving the middleware is application-neutral.
+"""
+
+from repro.pipelines.catalog import PipelineCatalog
+from repro.pipelines.forms import ALGORITHM_COMPLEXITY, DataForm
+from repro.pipelines.recordings import SensorRecording
+from repro.pipelines.stages import PipelineCostModel, StageSpec
+
+__all__ = [
+    "ALGORITHM_COMPLEXITY",
+    "DataForm",
+    "PipelineCatalog",
+    "PipelineCostModel",
+    "SensorRecording",
+    "StageSpec",
+]

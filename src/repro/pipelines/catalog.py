@@ -1,0 +1,128 @@
+"""The pipeline catalog: forms, allowed stages, reachability.
+
+Satisfies the same informal protocol as
+:class:`repro.workloads.MediaCatalog`, so the generic workload stack
+(:func:`repro.workloads.population.generate_specs`,
+:class:`repro.workloads.arrivals.TaskArrivalProcess`) runs on it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pipelines.forms import DataForm
+from repro.pipelines.stages import PipelineCostModel, StageSpec
+
+
+def default_forms() -> List[DataForm]:
+    """A tele-medicine form set: ECG, EEG and SpO2 signals."""
+    return [
+        # ECG: 500 Hz raw, filterable, compressible, event-scannable.
+        DataForm("ecg", "raw", 500.0),
+        DataForm("ecg", "filtered", 500.0),
+        DataForm("ecg", "filtered", 250.0),
+        DataForm("ecg", "compressed", 500.0),
+        DataForm("ecg", "compressed", 250.0),
+        DataForm("ecg", "events", 500.0),
+        # EEG: 256 Hz multichannel-ish.
+        DataForm("eeg", "raw", 256.0),
+        DataForm("eeg", "filtered", 256.0),
+        DataForm("eeg", "compressed", 256.0),
+        DataForm("eeg", "delta", 256.0),
+        # SpO2: slow but always-on.
+        DataForm("spo2", "raw", 25.0),
+        DataForm("spo2", "filtered", 25.0),
+        DataForm("spo2", "delta", 25.0),
+    ]
+
+
+#: Which algorithm takes a stage transition (src_stage, dst_stage).
+_STAGE_ALGORITHMS: Dict[Tuple[str, str], str] = {
+    ("raw", "filtered"): "bandpass_filter",
+    ("raw", "delta"): "delta_encode",
+    ("filtered", "compressed"): "wavelet_compress",
+    ("filtered", "delta"): "delta_encode",
+    ("filtered", "events"): "event_detect",
+    ("raw", "events"): "event_detect",
+    ("compressed", "events"): "event_detect",
+}
+
+
+@dataclass
+class PipelineCatalog:
+    """Forms plus the type-level stage pool between them."""
+
+    forms: List[DataForm] = field(default_factory=default_forms)
+    cost_model: PipelineCostModel = field(default_factory=PipelineCostModel)
+    canonical_duration: float = 60.0
+
+    def __post_init__(self) -> None:
+        if len(self.forms) < 2:
+            raise ValueError("need at least two forms")
+        if self.canonical_duration <= 0:
+            raise ValueError("canonical_duration must be positive")
+        self._stages: Optional[List[StageSpec]] = None
+
+    # -- the stage pool -------------------------------------------------------
+    def stages(self) -> List[StageSpec]:
+        """All offerable processing stages between catalog forms."""
+        if self._stages is None:
+            out: List[StageSpec] = []
+            for src in self.forms:
+                for dst in self.forms:
+                    if src == dst or src.kind != dst.kind:
+                        continue
+                    if dst.rate_hz > src.rate_hz:
+                        continue  # no upsampling services
+                    if src.stage == dst.stage:
+                        if dst.rate_hz < src.rate_hz:
+                            out.append(StageSpec(src, dst, "downsample"))
+                        continue
+                    algo = _STAGE_ALGORITHMS.get((src.stage, dst.stage))
+                    if algo is not None:
+                        out.append(StageSpec(src, dst, algo))
+            self._stages = out
+        return self._stages
+
+    # -- MediaCatalog-compatible protocol ------------------------------------
+    def conversions(self) -> List[Tuple[DataForm, DataForm]]:
+        return [(s.src, s.dst) for s in self.stages()]
+
+    def work_of(self, src: DataForm, dst: DataForm) -> float:
+        """Canonical work of one stage instance (src -> dst)."""
+        for stage in self.stages():
+            if stage.src == src and stage.dst == dst:
+                return self.cost_model.work(
+                    stage.algorithm, src, self.canonical_duration
+                )
+        raise ValueError(f"no stage {src} -> {dst} in catalog")
+
+    def out_bytes_of(self, dst: DataForm) -> float:
+        return dst.bytes_per_second() * self.canonical_duration
+
+    def reachable_from(
+        self, src: DataForm, max_hops: int = 3
+    ) -> List[DataForm]:
+        adjacency: Dict[DataForm, List[DataForm]] = {}
+        for a, b in self.conversions():
+            adjacency.setdefault(a, []).append(b)
+        seen = {src: 0}
+        queue = deque([src])
+        while queue:
+            form = queue.popleft()
+            depth = seen[form]
+            if depth >= max_hops:
+                continue
+            for nxt in adjacency.get(form, ()):
+                if nxt not in seen:
+                    seen[nxt] = depth + 1
+                    queue.append(nxt)
+        seen.pop(src, None)
+        return list(seen)
+
+    def source_formats(self) -> List[DataForm]:
+        """Stored recordings are raw captures."""
+        return [f for f in self.forms if f.stage == "raw"]

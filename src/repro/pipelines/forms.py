@@ -1,0 +1,69 @@
+"""Data forms: the application states of a sensor pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Relative CPU complexity of each processing algorithm class
+#: (work units per kilosample processed).
+ALGORITHM_COMPLEXITY: dict[str, float] = {
+    "identity": 0.0,
+    "bandpass_filter": 0.8,
+    "notch_filter": 0.5,
+    "downsample": 0.3,
+    "wavelet_compress": 2.0,
+    "delta_encode": 0.6,
+    "event_detect": 1.5,
+}
+
+#: Encoding overhead: bytes per sample in each representation.
+_BYTES_PER_SAMPLE: dict[str, float] = {
+    "raw": 4.0,          # float32 samples
+    "filtered": 4.0,
+    "compressed": 0.5,   # ~8x wavelet compression
+    "delta": 1.5,
+    "events": 0.05,      # sparse annotations
+}
+
+
+@dataclass(frozen=True, order=True)
+class DataForm:
+    """One representation of a sensor signal (a resource-graph state).
+
+    Attributes
+    ----------
+    kind:
+        The signal ("ecg", "eeg", "spo2", ...).
+    stage:
+        Processing state, one of raw / filtered / compressed / delta /
+        events.
+    rate_hz:
+        Samples per second in this form.
+    """
+
+    kind: str
+    stage: str
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.stage not in _BYTES_PER_SAMPLE:
+            raise ValueError(
+                f"unknown stage {self.stage!r}; "
+                f"known: {sorted(_BYTES_PER_SAMPLE)}"
+            )
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+
+    def bytes_per_second(self) -> float:
+        """Wire volume of a stream in this form."""
+        return _BYTES_PER_SAMPLE[self.stage] * self.rate_hz
+
+    @property
+    def kilosample_rate(self) -> float:
+        return self.rate_hz / 1000.0
+
+    def label(self) -> str:
+        return f"{self.kind}/{self.stage}@{self.rate_hz:g}Hz"
+
+    def __str__(self) -> str:
+        return self.label()

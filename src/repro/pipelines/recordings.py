@@ -1,0 +1,39 @@
+"""Sensor recordings: the stored data objects of the pipeline domain."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.pipelines.forms import DataForm
+
+
+@dataclass(frozen=True)
+class SensorRecording:
+    """A captured signal stored at a peer.
+
+    Attribute-compatible with :class:`repro.media.MediaObject`
+    (``name``, ``fmt``, ``duration_s``, ``size_bytes``), so the
+    Resource Manager and workload machinery accept it unchanged.
+    """
+
+    name: str
+    fmt: DataForm
+    duration_s: float = 60.0
+    content_hash: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"invalid duration {self.duration_s}")
+        if not self.content_hash:
+            digest = hashlib.sha256(
+                f"{self.name}|{self.fmt.label()}".encode()
+            ).hexdigest()
+            object.__setattr__(self, "content_hash", digest[:16])
+
+    @property
+    def size_bytes(self) -> float:
+        return self.fmt.bytes_per_second() * self.duration_s
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.fmt.label()}]"

@@ -1,0 +1,66 @@
+"""Processing stages and their CPU cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipelines.forms import ALGORITHM_COMPLEXITY, DataForm
+
+
+@dataclass
+class PipelineCostModel:
+    """Work units to run an algorithm over a signal.
+
+    ``work = c * complexity(algorithm) * kilosamples_processed`` where
+    kilosamples are counted at the *input* rate — downsampling a
+    high-rate stream costs more than filtering a low-rate one.
+    Defaults put one second of 500 Hz ECG bandpass filtering at
+    ~0.2 work units, so a power-10 peer sustains ~50 concurrent
+    real-time ECG filters.
+    """
+
+    c: float = 0.5
+
+    def work_per_second(self, algorithm: str, src: DataForm) -> float:
+        try:
+            complexity = ALGORITHM_COMPLEXITY[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"known: {sorted(ALGORITHM_COMPLEXITY)}"
+            ) from None
+        return self.c * complexity * src.kilosample_rate
+
+    def work(
+        self, algorithm: str, src: DataForm, duration_s: float
+    ) -> float:
+        if duration_s <= 0:
+            raise ValueError(f"invalid duration {duration_s}")
+        return self.work_per_second(algorithm, src) * duration_s
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One processing-stage type: a directed form transformation."""
+
+    src: DataForm
+    dst: DataForm
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("stage source and destination forms equal")
+        if self.algorithm not in ALGORITHM_COMPLEXITY:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.src.kind != self.dst.kind:
+            raise ValueError(
+                f"stages transform one signal kind: "
+                f"{self.src.kind} != {self.dst.kind}"
+            )
+
+    @property
+    def service_id(self) -> str:
+        return f"{self.algorithm}:{self.src.label()}>{self.dst.label()}"
+
+    def __str__(self) -> str:
+        return self.service_id

@@ -1,0 +1,6 @@
+"""Result presentation: ASCII charts and machine-readable export."""
+
+from repro.reporting.ascii import histogram, sparkline
+from repro.reporting.export import result_to_csv, result_to_json
+
+__all__ = ["histogram", "result_to_csv", "result_to_json", "sparkline"]

@@ -1,0 +1,58 @@
+"""Terminal-friendly mini charts for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line unicode chart of *values* (e.g. fairness over time).
+
+    Values are min-max normalized; ``width`` (if given) downsamples by
+    bucket-averaging so long series stay one terminal line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket):max(int((i + 1) * bucket),
+                                         int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return _BLOCKS[len(_BLOCKS) // 2] * len(vals)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int((v - lo) * scale)] for v in vals)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """A multi-line ASCII histogram (e.g. response-time distribution)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return "(empty)"
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return f"{lo:10.3f} | {'#' * width} {len(vals)}"
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for v in vals:
+        idx = min(int((v - lo) / step), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width)) if count else ""
+        lines.append(f"{lo + i * step:10.3f} | {bar} {count}")
+    return "\n".join(lines)

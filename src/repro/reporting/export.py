@@ -1,0 +1,37 @@
+"""Machine-readable export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.base import ExperimentResult
+
+
+def result_to_csv(result: "ExperimentResult") -> str:
+    """Render a result's table as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def result_to_json(result: "ExperimentResult", indent: int = 2) -> str:
+    """Render a result (table + notes) as a JSON document."""
+    doc = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": [
+            [cell if not hasattr(cell, "item") else cell.item()
+             for cell in row]
+            for row in result.rows
+        ],
+        "notes": list(result.notes),
+    }
+    return json.dumps(doc, indent=indent, default=str)

@@ -1,0 +1,105 @@
+"""Scheduling policies: pick the next job from the ready set.
+
+A policy is a *key function*: the processor runs the ready job with the
+smallest key.  Keys may depend on the current time and processor power
+(LLS laxity does); ties break by job id (i.e. arrival order), keeping
+runs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.scheduling.job import Job
+
+
+class SchedulingPolicy:
+    """Base class. Subclasses define :meth:`key`; lower key runs first."""
+
+    #: Human-readable policy name (used in experiment tables).
+    name: str = "base"
+    #: Whether a newly arrived job may preempt the running one.
+    preemptive: bool = True
+    #: Whether job priorities drift with time while queued (LLS does),
+    #: requiring periodic re-evaluation (the processor's quantum).
+    time_varying: bool = False
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """First-come-first-served, non-preemptive (the naive baseline)."""
+
+    name = "FIFO"
+    preemptive = False
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        return (job.release, job.job_id)
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Earliest Deadline First (preemptive)."""
+
+    name = "EDF"
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        return (job.abs_deadline, job.job_id)
+
+
+class LLSPolicy(SchedulingPolicy):
+    """Least Laxity Scheduling — the paper's Local Scheduler (§2).
+
+    Laxity = deadline − now − remaining/power: the slack a job has left.
+    The job closest to being un-completable runs first.  Laxity order
+    can change while jobs wait, so the policy is time-varying and the
+    processor re-evaluates every quantum.
+    """
+
+    name = "LLS"
+    time_varying = True
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        return (job.laxity(now, power), job.job_id)
+
+
+class SJFPolicy(SchedulingPolicy):
+    """Shortest (remaining) job first — throughput-oriented baseline."""
+
+    name = "SJF"
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        return (job.remaining, job.job_id)
+
+
+class ImportancePolicy(SchedulingPolicy):
+    """Highest value density first: importance / remaining work.
+
+    A benefit-oriented policy in the spirit of Jensen-style value
+    scheduling (paper §5 related work); used in the E3 comparison.
+    """
+
+    name = "VALUE"
+
+    def key(self, job: Job, now: float, power: float) -> Tuple[float, int]:
+        density = job.importance / max(job.remaining, 1e-12)
+        return (-density, job.job_id)
+
+
+_POLICIES = {
+    cls.name: cls
+    for cls in (FIFOPolicy, EDFPolicy, LLSPolicy, SJFPolicy, ImportancePolicy)
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by its table name (``"LLS"``, ``"EDF"``, ...)."""
+    try:
+        return _POLICIES[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,62 @@
+"""Discrete-event simulation kernel.
+
+A self-contained, deterministic discrete-event simulator in the style of
+SimPy: simulation *processes* are Python generators that ``yield`` events
+(timeouts, other processes, resource requests, ...) and are resumed by the
+:class:`~repro.sim.core.Environment` when those events fire.
+
+The kernel is the substrate on which the entire peer-to-peer middleware
+reproduction runs; every protocol component (schedulers, profilers,
+resource managers, gossip, churn) is a process in this simulator.
+
+Determinism: for a fixed seed and identical call order, runs are exactly
+reproducible.  The event queue orders by ``(time, priority, sequence)``
+where the sequence number breaks ties in insertion order.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(3)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[3.0]
+"""
+
+from repro.sim.core import Environment, StopSimulation
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import (
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,347 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` goes through three states:
+
+``pending``
+    created but not yet triggered; callbacks may be attached.
+``triggered``
+    a value (or an exception) has been set and the event has been placed
+    on the environment's queue; it will fire at its scheduled time.
+``processed``
+    the environment has popped the event and run its callbacks.
+
+:class:`Process` is itself an event: it fires when the wrapped generator
+terminates, carrying the generator's return value (so one process can
+``yield`` another to join on it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Environment
+
+#: Scheduling priorities. Lower fires first at equal times.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been :meth:`Process.interrupt`-ed.
+
+    The interrupting party may attach an arbitrary ``cause`` which the
+    interrupted process can inspect to decide how to react (e.g. a peer
+    failure notification aborting an in-flight service invocation).
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Parameters
+    ----------
+    env:
+        The environment this event belongs to.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks run (in attach order) when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled: bool = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is not yet triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Set the event's value and schedule it at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Set an exception outcome and schedule the event."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger_from(self, other: "Event") -> None:
+        """Copy the outcome of an already-triggered *other* event."""
+        if other._value is _PENDING:
+            raise RuntimeError(f"{other!r} has not been triggered")
+        self._ok = other._ok
+        self._value = other._value
+        self.env.schedule(self)
+
+    # -- composition -----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed *delay* of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self, env: "Environment", delay: float, value: Any = None
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=self.delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class _InterruptDelivery(Event):
+    """Internal urgent event delivering an :class:`Interrupt` to a process."""
+
+    __slots__ = ()
+
+    def __init__(
+        self, env: "Environment", process: "Process", cause: Any
+    ) -> None:
+        super().__init__(env)
+        self.callbacks.append(process._deliver_interrupt)
+        self._ok = False
+        self._value = Interrupt(cause)
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process fires (as an event) when the generator returns; the
+    ``StopIteration`` value becomes the event value.  Exceptions escaping
+    the generator fail the process event; if nobody is waiting on the
+    process, the exception propagates out of :meth:`Environment.run` so
+    bugs are never silently swallowed.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process raises ``RuntimeError``.  A process
+        cannot interrupt itself (that would just be ``raise``).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        _InterruptDelivery(self.env, self, cause)
+
+    # -- kernel plumbing ---------------------------------------------------
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # terminated between scheduling and delivery
+            return
+        # Detach from the event we were waiting on so we are not resumed
+        # twice; if it already fired its callback list is gone and the
+        # interrupt is delivered in place of the value.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        env = self.env
+        prev, env.active_process = env.active_process, self
+        try:
+            if event._ok:
+                result = self.generator.send(event._value)
+            else:
+                result = self.generator.throw(event._value)
+        except StopIteration as stop:
+            env.active_process = prev
+            self._ok = True
+            self._value = stop.value
+            env.schedule(self, priority=URGENT)
+            return
+        except BaseException as exc:
+            env.active_process = prev
+            self._ok = False
+            self._value = exc
+            env.schedule(self, priority=URGENT)
+            return
+        env.active_process = prev
+
+        if not isinstance(result, Event):
+            # Deliver a TypeError inside the generator; it may catch it
+            # and terminate (StopIteration) or re-raise.
+            relay = Event(env)
+            relay.callbacks.append(self._resume)
+            relay._ok = False
+            relay._value = TypeError(
+                f"process yielded a non-event: {result!r}"
+            )
+            env.schedule(relay, priority=URGENT)
+            self._target = relay
+            return
+        if result.processed:
+            # The yielded event already fired: resume immediately (next
+            # kernel step) with its stored outcome.
+            relay = Event(env)
+            relay.callbacks.append(self._resume)
+            relay.trigger_from(result)
+            self._target = relay
+        else:
+            result.callbacks.append(self._resume)
+            self._target = result
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {'alive' if self.is_alive else 'dead'}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._n_fired = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* component events have fired; value maps event->value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Fires when *any* component event has fired; value maps event->value."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1

@@ -1,0 +1,260 @@
+"""Shared-resource primitives built on the event kernel.
+
+These mirror the classic SimPy primitives:
+
+:class:`Resource`
+    ``capacity`` identical slots, FIFO queueing.
+:class:`PriorityResource`
+    like :class:`Resource` but the wait queue is ordered by a numeric
+    priority (lower = more urgent), FIFO within a priority.
+:class:`Store`
+    an unbounded (or bounded) buffer of Python objects with blocking
+    ``put``/``get`` — the building block for mailboxes and links.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Request(Event):
+    """A pending acquisition of one slot of a :class:`Resource`.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO queueing."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to *request*.
+
+        Releasing a request that was never granted silently cancels it;
+        this keeps the context-manager form safe even if the holder was
+        interrupted before the grant.
+        """
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._cancel(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` carrying a priority (lower = more urgent)."""
+
+    __slots__ = ("priority", "_seq")
+
+    def __init__(self, resource: "PriorityResource", priority: float) -> None:
+        self.priority = priority
+        self._seq = next(resource._counter)
+        super().__init__(resource)
+
+    def _key(self) -> tuple[float, int]:
+        return (self.priority, self._seq)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is a priority queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        self._counter = itertools.count()
+        super().__init__(env, capacity)
+        self._heap: list[tuple[tuple[float, int], PriorityRequest]] = []
+
+    def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
+        req = PriorityRequest(self, priority)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self._heap, (req._key(), req))
+            self.queue.append(req)
+        return req
+
+    def _cancel(self, request: Request) -> None:
+        super()._cancel(request)
+        # lazily dropped from the heap in _grant_next
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, nxt = heapq.heappop(self._heap)
+            if nxt not in self.queue:  # cancelled
+                continue
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class StorePut(Event):
+    """Pending insertion of *item* into a :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`; fires with the item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(
+        self,
+        store: "Store",
+        filter: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+
+
+class Store:
+    """A buffer of items with blocking put/get.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum number of buffered items; ``float('inf')`` (default) for
+        an unbounded buffer.
+
+    ``get`` accepts an optional filter predicate, enabling
+    selective-receive semantics (e.g. a peer waiting for a reply with a
+    specific correlation id).
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf")
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: list[StorePut] = []
+        self._getters: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert *item*; the returned event fires once buffered."""
+        ev = StorePut(self, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(
+        self, filter: Optional[Callable[[Any], bool]] = None
+    ) -> StoreGet:
+        """Take one item (matching *filter*, if given)."""
+        ev = StoreGet(self, filter)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def cancel_get(self, ev: StoreGet) -> None:
+        """Withdraw a pending get (e.g. on timeout)."""
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move waiting puts into the buffer while capacity allows.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters from the buffer.
+            i = 0
+            while i < len(self._getters):
+                get = self._getters[i]
+                idx = self._match(get)
+                if idx is None:
+                    i += 1
+                    continue
+                item = self.items.pop(idx)
+                self._getters.pop(i)
+                get.succeed(item)
+                progress = True
+            if not self.items and not self._putters:
+                break
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        if get.filter is None:
+            return 0 if self.items else None
+        for idx, item in enumerate(self.items):
+            if get.filter(item):
+                return idx
+        return None

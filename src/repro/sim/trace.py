@@ -1,0 +1,74 @@
+"""Lightweight structured tracing for simulation runs.
+
+A :class:`Tracer` collects timestamped records emitted by protocol
+components (task admitted, message sent, RM failover, ...).  Experiments
+query it after a run; tests assert on it.  Tracing is off by default and
+costs a single predicate call per record when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` s, optionally filtered by kind."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[set[str]] = None,
+    ) -> None:
+        self.enabled = enabled
+        #: If not None, only these kinds are recorded.
+        self.kinds = kinds
+        self.records: List[TraceRecord] = []
+        #: Counters by kind, maintained even for filtered-out kinds.
+        self.counts: Dict[str, int] = {}
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Emit one record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(time, kind, fields))
+
+    def count(self, kind: str) -> int:
+        """Number of records of *kind* emitted so far."""
+        return self.counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All stored records of *kind*, in time order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def where(
+        self, predicate: Callable[[TraceRecord], bool]
+    ) -> Iterator[TraceRecord]:
+        """Iterate stored records matching *predicate*."""
+        return (r for r in self.records if predicate(r))
+
+    def clear(self) -> None:
+        """Drop all stored records and counters."""
+        self.records.clear()
+        self.counts.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

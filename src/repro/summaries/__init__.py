@@ -1,0 +1,12 @@
+"""Inter-domain summaries (paper §3.1: Bloom filters over objects/services).
+
+Each Resource Manager advertises a :class:`DomainSummary` — Bloom
+filters of the data objects and services available in its domain plus a
+coarse load figure — which other RMs use to pick redirection targets
+without any global state (§4.5).
+"""
+
+from repro.summaries.bloom import BloomFilter
+from repro.summaries.domain_summary import DomainSummary
+
+__all__ = ["BloomFilter", "DomainSummary"]

@@ -1,0 +1,18 @@
+"""Application-task and QoS model.
+
+A *distributed application task* (paper §3.3) is a sequence of object and
+service invocations across multiple peers, submitted by a user with a
+deadline and an importance.  This package holds the task lifecycle state
+machine, the QoS requirement set carried with each request, and the
+per-invocation step descriptors that make up a service graph.
+"""
+
+from repro.tasks.qos import QoSRequirements
+from repro.tasks.task import ApplicationTask, TaskOutcome, TaskState
+
+__all__ = [
+    "ApplicationTask",
+    "QoSRequirements",
+    "TaskOutcome",
+    "TaskState",
+]

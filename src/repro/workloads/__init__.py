@@ -1,0 +1,32 @@
+"""Workload generation: formats, peer populations, task arrivals, scenarios.
+
+Everything an experiment needs to go from a config to a running
+simulated system:
+
+* :mod:`repro.workloads.catalog` — media-format ladders and the pool of
+  plausible transcoder conversions between them;
+* :mod:`repro.workloads.population` — heterogeneous peer populations
+  (lognormal processing power, tiered bandwidth, beta-distributed
+  uptime) hosting random service instances and replicated objects;
+* :mod:`repro.workloads.arrivals` — Poisson task arrivals with Zipf
+  object popularity and slack-scaled deadlines;
+* :mod:`repro.workloads.scenario` — the one-call scenario builder the
+  experiments and examples use.
+"""
+
+from repro.workloads.arrivals import TaskArrivalProcess, WorkloadConfig
+from repro.workloads.catalog import MediaCatalog, default_formats
+from repro.workloads.population import PopulationConfig, generate_specs
+from repro.workloads.scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "MediaCatalog",
+    "PopulationConfig",
+    "Scenario",
+    "ScenarioConfig",
+    "TaskArrivalProcess",
+    "WorkloadConfig",
+    "build_scenario",
+    "default_formats",
+    "generate_specs",
+]

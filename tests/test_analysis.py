@@ -1,0 +1,119 @@
+"""Validation of the simulation substrate against queueing theory.
+
+A single FIFO processor fed Poisson arrivals of fixed-work jobs is an
+M/D/1 queue; with exponentially distributed work it is an M/M/1 queue.
+The measured mean response times must match the closed forms — this
+pins down the correctness of the processor, the event kernel, and the
+arrival machinery all at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    md1_mean_response,
+    md1_mean_wait,
+    mm1_mean_response,
+    mm1_mean_wait,
+    utilization,
+)
+from repro.scheduling import Job, Processor, make_policy
+from repro.sim import Environment
+
+
+class TestFormulas:
+    def test_utilization(self):
+        assert utilization(2.0, 0.25) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_mean_wait(0.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1_mean_wait(1.0, 1.0)  # rho = 1
+        with pytest.raises(ValueError):
+            md1_mean_wait(2.0, 1.0)  # rho = 2
+
+    def test_mm1_known_value(self):
+        # rho = 0.5: response = s / 0.5 = 2 s.
+        assert mm1_mean_response(1.0, 0.5) == pytest.approx(1.0)
+
+    def test_md1_half_the_mm1_wait(self):
+        lam, s = 1.0, 0.5
+        assert md1_mean_wait(lam, s) == pytest.approx(
+            mm1_mean_wait(lam, s) / 2.0
+        )
+
+    def test_wait_grows_with_load(self):
+        s = 0.1
+        waits = [md1_mean_wait(lam, s) for lam in (1.0, 5.0, 9.0)]
+        assert waits == sorted(waits)
+        assert waits[-1] > 10 * waits[0]
+
+
+def simulate_queue(lam, work, power, duration, policy="FIFO",
+                   work_dist=None, seed=0):
+    """One processor under Poisson arrivals; returns mean response."""
+    env = Environment()
+    cpu = Processor(env, "p", power=power, policy=make_policy(policy))
+    rng = np.random.default_rng(seed)
+    jobs = []
+
+    def feeder():
+        while env.now < duration:
+            yield env.timeout(float(rng.exponential(1.0 / lam)))
+            w = work if work_dist is None else float(work_dist(rng))
+            if w <= 0:
+                continue
+            job = Job(work=w, abs_deadline=env.now + 1e9,
+                      release=env.now)
+            jobs.append(job)
+            cpu.submit(job)
+
+    env.process(feeder())
+    env.run(until=duration * 1.2)
+    responses = [
+        j.response_time for j in jobs if j.response_time is not None
+    ]
+    assert len(responses) > 0.9 * len(jobs)
+    return float(np.mean(responses))
+
+
+@pytest.mark.slow
+class TestSimulatorVsTheory:
+    def test_md1_light_load(self):
+        # rho = 0.3: service 0.3s (work 3 @ power 10), lam = 1.0.
+        measured = simulate_queue(
+            lam=1.0, work=3.0, power=10.0, duration=30_000.0
+        )
+        expected = md1_mean_response(1.0, 0.3)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_md1_heavy_load(self):
+        # rho = 0.8: queueing dominates.
+        measured = simulate_queue(
+            lam=2.0, work=4.0, power=10.0, duration=60_000.0
+        )
+        expected = md1_mean_response(2.0, 0.4)
+        assert measured == pytest.approx(expected, rel=0.10)
+
+    def test_mm1_with_exponential_work(self):
+        # Exponential work => M/M/1. rho = 0.5.
+        measured = simulate_queue(
+            lam=1.0, work=0.0, power=10.0, duration=60_000.0,
+            work_dist=lambda rng: rng.exponential(5.0),
+        )
+        expected = mm1_mean_response(1.0, 0.5)
+        assert measured == pytest.approx(expected, rel=0.10)
+
+    def test_preemptive_edf_does_not_change_utilization_story(self):
+        """Mean response under EDF stays near FIFO for identical jobs
+        (identical deadlines order like FIFO)."""
+        fifo = simulate_queue(
+            lam=1.5, work=3.0, power=10.0, duration=20_000.0,
+            policy="FIFO",
+        )
+        edf = simulate_queue(
+            lam=1.5, work=3.0, power=10.0, duration=20_000.0,
+            policy="EDF",
+        )
+        assert edf == pytest.approx(fifo, rel=0.10)

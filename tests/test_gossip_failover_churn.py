@@ -1,0 +1,228 @@
+"""Gossip convergence, RM failover, and churn processes."""
+
+import pytest
+
+from repro.core.manager import RMConfig
+from repro.gossip import GossipAgent, GossipConfig
+from repro.net import ConstantLatency, Network
+from repro.overlay import (
+    ChurnConfig,
+    ChurnProcess,
+    FailoverConfig,
+    OverlayNetwork,
+    PeerSpec,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def build_overlay(env, max_peers=3, enable_gossip=True,
+                  gossip_config=None, failover_config=None,
+                  enable_backups=True):
+    net = Network(env, ConstantLatency(0.005), bandwidth=1e7)
+    return OverlayNetwork(
+        env, net,
+        rm_config=RMConfig(max_peers=max_peers),
+        gossip_config=gossip_config or GossipConfig(period=1.0, fanout=2),
+        failover_config=failover_config or FailoverConfig(
+            sync_period=1.0, dead_after_periods=2.0
+        ),
+        enable_gossip=enable_gossip,
+        enable_backups=enable_backups,
+        streams=RandomStreams(0),
+    )
+
+
+def spec(pid, **kw):
+    defaults = dict(power=10.0, bandwidth=2e6, uptime=0.9)
+    defaults.update(kw)
+    return PeerSpec(peer_id=pid, **defaults)
+
+
+class TestGossipConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipConfig(period=0)
+        with pytest.raises(ValueError):
+            GossipConfig(fanout=0)
+
+
+class TestGossipConvergence:
+    def test_summaries_spread_to_all_rms(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=3)
+        for i in range(9):  # 3 domains of 3
+            overlay.join(spec(f"p{i}"))
+        assert overlay.n_domains == 3
+        env.run(until=30.0)
+        agents = [d.gossip for d in overlay.domains.values()]
+        assert all(len(a.summaries) == 3 for a in agents)
+        assert agents[0].converged_with(agents[1:])
+
+    def test_remote_summaries_visible_to_rm(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=2)
+        for i in range(4):
+            overlay.join(spec(f"p{i}"))
+        env.run(until=30.0)
+        for rm in overlay.rms():
+            assert len(rm.info.remote_summaries) == overlay.n_domains - 1
+
+    def test_version_bumps_on_membership_change(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=4)
+        overlay.join(spec("p0"))
+        env.run(until=5.0)
+        agent = next(iter(overlay.domains.values())).gossip
+        v_before = agent.summaries["p0"].version
+        overlay.join(spec("p1"))
+        env.run(until=10.0)
+        assert agent.summaries["p0"].version > v_before
+
+    def test_unchanged_contents_do_not_bump_version(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=4)
+        overlay.join(spec("p0"))
+        env.run(until=3.0)
+        agent = next(iter(overlay.domains.values())).gossip
+        v = agent.summaries["p0"].version
+        env.run(until=20.0)
+        assert agent.summaries["p0"].version == v
+
+
+class TestFailover:
+    def build_domain_with_backup(self, env):
+        overlay = build_overlay(env, max_peers=8, enable_gossip=False)
+        for i in range(4):
+            overlay.join(spec(f"p{i}"))
+        domain = next(iter(overlay.domains.values()))
+        assert domain.backup is not None
+        return overlay, domain
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FailoverConfig(sync_period=0)
+        with pytest.raises(ValueError):
+            FailoverConfig(dead_after_periods=0.5)
+
+    def test_backup_requires_passive(self):
+        env = Environment()
+        overlay, domain = self.build_domain_with_backup(env)
+        from repro.overlay.failover import FailoverAgent
+
+        with pytest.raises(ValueError):
+            FailoverAgent(domain.rm, domain.rm)  # active as backup
+
+    def test_no_takeover_while_primary_alive(self):
+        env = Environment()
+        overlay, domain = self.build_domain_with_backup(env)
+        env.run(until=30.0)
+        assert not domain.failover.took_over
+        assert domain.rm.active
+
+    def test_takeover_after_primary_crash(self):
+        env = Environment()
+        overlay, domain = self.build_domain_with_backup(env)
+        primary, backup = domain.rm, domain.backup
+
+        def killer():
+            yield env.timeout(10.0)
+            overlay.fail_peer(primary.node_id)
+
+        env.process(killer())
+        env.run(until=30.0)
+        new_domain = next(iter(overlay.domains.values()))
+        assert new_domain.rm is backup
+        assert backup.active and backup.rm_id == backup.node_id
+        # Members re-pointed to the new RM.
+        for pid, node in overlay.peers.items():
+            if node.alive and pid != backup.node_id:
+                assert node.rm_id == backup.node_id
+        # The dead primary was pruned from the restored roster.
+        assert not backup.info.has_peer(primary.node_id)
+
+    def test_takeover_restores_replicated_roster(self):
+        env = Environment()
+        overlay, domain = self.build_domain_with_backup(env)
+        primary, backup = domain.rm, domain.backup
+        members_before = set(primary.member_ids)
+
+        def killer():
+            yield env.timeout(10.0)
+            overlay.fail_peer(primary.node_id)
+
+        env.process(killer())
+        env.run(until=30.0)
+        expected = members_before - {primary.node_id}
+        assert set(backup.member_ids) == expected
+
+    def test_recovery_delay_reported(self):
+        env = Environment()
+        overlay, domain = self.build_domain_with_backup(env)
+        agent = domain.failover
+
+        def killer():
+            yield env.timeout(10.0)
+            overlay.fail_peer(domain.rm.node_id)
+
+        env.process(killer())
+        env.run(until=30.0)
+        assert agent.recovery_delay is not None
+        assert agent.recovery_delay > 0
+
+
+class TestChurn:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_lifetime=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(graceful_prob=1.5)
+
+    def test_departures_and_rejoins(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=20, enable_gossip=False)
+        for i in range(10):
+            overlay.join(spec(f"p{i}"))
+        churn = ChurnProcess(
+            overlay,
+            ChurnConfig(mean_lifetime=5.0, mean_offtime=1.0,
+                        graceful_prob=0.5),
+            rng=__import__("numpy").random.default_rng(1),
+        )
+        churn.watch_all()
+        env.run(until=60.0)
+        assert churn.departures > 0
+        assert churn.rejoins > 0
+        # Population stays roughly stationary.
+        assert overlay.n_peers >= 5
+
+    def test_rms_exempt(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=20, enable_gossip=False)
+        for i in range(6):
+            overlay.join(spec(f"p{i}"))
+        domain = next(iter(overlay.domains.values()))
+        churn = ChurnProcess(
+            overlay,
+            ChurnConfig(mean_lifetime=2.0, mean_offtime=0.5),
+            rng=__import__("numpy").random.default_rng(2),
+        )
+        churn.watch_all()
+        env.run(until=60.0)
+        # Primary and designated backup never churned away.
+        assert domain.rm.alive
+        assert domain.backup is not None and domain.backup.alive
+
+    def test_no_replacement_when_disabled(self):
+        env = Environment()
+        overlay = build_overlay(env, max_peers=20, enable_gossip=False)
+        for i in range(6):
+            overlay.join(spec(f"p{i}"))
+        churn = ChurnProcess(
+            overlay,
+            ChurnConfig(mean_lifetime=3.0, replace=False),
+            rng=__import__("numpy").random.default_rng(3),
+        )
+        churn.watch_all()
+        env.run(until=100.0)
+        assert churn.rejoins == 0
+        assert overlay.n_peers < 6

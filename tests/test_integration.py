@@ -1,0 +1,148 @@
+"""End-to-end integration scenarios across all subsystems."""
+
+import pytest
+
+from repro.core.manager import RMConfig
+from repro.overlay import ChurnConfig
+from repro.overlay.failover import FailoverConfig
+from repro.tasks.task import TaskOutcome
+from repro.workloads import (
+    PopulationConfig,
+    ScenarioConfig,
+    WorkloadConfig,
+    build_scenario,
+)
+
+
+@pytest.mark.integration
+class TestSteadyState:
+    def test_light_load_all_deadlines_met(self):
+        cfg = ScenarioConfig(
+            seed=42,
+            population=PopulationConfig(n_peers=16, n_objects=6),
+            workload=WorkloadConfig(rate=0.5),
+        )
+        scenario = build_scenario(cfg)
+        summary = scenario.run(duration=200.0, drain=60.0)
+        assert summary.n_submitted > 50
+        assert summary.goodput > 0.95
+        assert summary.n_failed == 0
+
+    def test_saturating_load_triggers_defenses(self):
+        cfg = ScenarioConfig(
+            seed=8,
+            population=PopulationConfig(n_peers=8, n_objects=4),
+            workload=WorkloadConfig(rate=4.0, deadline_slack=1.5),
+        )
+        scenario = build_scenario(cfg)
+        summary = scenario.run(duration=150.0, drain=60.0)
+        # Saturation shows up as rejections and/or misses, not crashes.
+        assert summary.n_rejected + summary.n_missed > 0
+        assert summary.n_submitted > 200
+
+    def test_load_updates_flow_to_rm(self):
+        cfg = ScenarioConfig(
+            seed=1,
+            population=PopulationConfig(n_peers=8, n_objects=4),
+            workload=WorkloadConfig(rate=0.5),
+        )
+        scenario = build_scenario(cfg)
+        scenario.run(duration=60.0, drain=10.0)
+        rm = scenario.overlay.rms()[0]
+        reported = [
+            pid for pid in rm.info.peers
+            if rm.info.peer(pid).last_report is not None
+        ]
+        assert len(reported) == rm.info.n_peers
+
+
+@pytest.mark.integration
+class TestMultiDomain:
+    def test_domains_split_and_redirect(self):
+        cfg = ScenarioConfig(
+            seed=11,
+            population=PopulationConfig(n_peers=24, n_objects=8,
+                                        replication=2),
+            workload=WorkloadConfig(rate=0.6),
+            rm=RMConfig(max_peers=8),
+        )
+        scenario = build_scenario(cfg)
+        assert scenario.overlay.n_domains >= 2
+        summary = scenario.run(duration=200.0, drain=60.0)
+        assert summary.n_redirected > 0
+        assert summary.goodput > 0.8
+
+    def test_gossip_supports_redirection(self):
+        cfg = ScenarioConfig(
+            seed=11,
+            population=PopulationConfig(n_peers=24, n_objects=8,
+                                        replication=2),
+            workload=WorkloadConfig(rate=0.6),
+            rm=RMConfig(max_peers=8),
+        )
+        scenario = build_scenario(cfg)
+        scenario.run(duration=120.0, drain=30.0)
+        for rm in scenario.overlay.rms():
+            assert len(rm.info.remote_summaries) >= 1
+
+
+@pytest.mark.integration
+class TestDynamics:
+    def test_churn_with_repair_sustains_goodput(self):
+        cfg = ScenarioConfig(
+            seed=7,
+            population=PopulationConfig(n_peers=20, n_objects=8,
+                                        replication=3),
+            workload=WorkloadConfig(rate=0.4),
+            churn=ChurnConfig(mean_lifetime=100.0, mean_offtime=10.0),
+        )
+        scenario = build_scenario(cfg)
+        summary = scenario.run(duration=300.0, drain=60.0)
+        assert scenario.churn.departures > 5
+        assert summary.goodput > 0.8
+        assert summary.n_repairs > 0
+
+    def test_rm_crash_recovers_via_backup(self):
+        cfg = ScenarioConfig(
+            seed=3,
+            population=PopulationConfig(n_peers=12, n_objects=5,
+                                        replication=3),
+            workload=WorkloadConfig(rate=0.3),
+            failover=FailoverConfig(sync_period=3.0,
+                                    dead_after_periods=2.0),
+        )
+        scenario = build_scenario(cfg)
+        domain = next(iter(scenario.overlay.domains.values()))
+        primary_id = domain.rm.node_id
+        backup_id = domain.backup.node_id
+
+        def killer():
+            yield scenario.env.timeout(60.0)
+            scenario.overlay.fail_peer(primary_id)
+
+        scenario.env.process(killer())
+        summary = scenario.run(duration=200.0, drain=60.0)
+        domain = next(iter(scenario.overlay.domains.values()))
+        assert domain.rm.node_id == backup_id
+        assert domain.rm.active
+        # Tasks admitted after the takeover completed successfully.
+        late = [
+            t for t in scenario.metrics.tasks.values()
+            if t.submitted_at > 80.0
+            and t.outcome is TaskOutcome.MET_DEADLINE
+        ]
+        assert late
+
+    def test_run_is_deterministic_under_churn(self):
+        def once():
+            cfg = ScenarioConfig(
+                seed=17,
+                population=PopulationConfig(n_peers=12, n_objects=5,
+                                            replication=2),
+                workload=WorkloadConfig(rate=0.4),
+                churn=ChurnConfig(mean_lifetime=60.0),
+            )
+            s = build_scenario(cfg).run(duration=120.0, drain=30.0)
+            return (s.n_submitted, s.n_met, s.n_failed, s.messages)
+
+        assert once() == once()

@@ -1,0 +1,192 @@
+"""Network fabric: delivery, ordering, failures, stats."""
+
+import pytest
+
+from repro.common.errors import UnknownPeer
+from repro.net import ConstantLatency, Message, NetNode, Network, UniformLatency
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_pair(env, latency=0.01, bandwidth=1e9):
+    net = Network(env, ConstantLatency(latency), bandwidth=bandwidth)
+    return net, NetNode(env, net, "a"), NetNode(env, net, "b")
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self, env):
+        net, a, _b = make_pair(env)
+        with pytest.raises(ValueError):
+            NetNode(env, net, "a")
+
+    def test_unknown_lookup_raises(self, env):
+        net, *_ = make_pair(env)
+        with pytest.raises(UnknownPeer):
+            net.node("ghost")
+
+    def test_node_ids(self, env):
+        net, *_ = make_pair(env)
+        assert set(net.node_ids) == {"a", "b"}
+
+    def test_unregister(self, env):
+        net, a, b = make_pair(env)
+        net.unregister("b")
+        assert not net.knows("b")
+
+
+class TestDelivery:
+    def test_latency_plus_transmission(self, env):
+        net, a, b = make_pair(env, latency=0.5, bandwidth=1000.0)
+        got = []
+        b.on("m", lambda msg: got.append(env.now))
+        a.send("m", "b", size=500.0)  # 0.5s transmission
+        env.run()
+        assert got and abs(got[0] - 1.0) < 1e-9
+
+    def test_fifo_per_link(self, env):
+        """A later small message never overtakes an earlier big one."""
+        net = Network(env, ConstantLatency(0.0), bandwidth=1000.0)
+        a = NetNode(env, net, "a")
+        b = NetNode(env, net, "b")
+        got = []
+        b.on("m", lambda msg: got.append(msg.payload["i"]))
+        a.send("m", "b", {"i": 1}, size=10_000.0)  # 10s
+        a.send("m", "b", {"i": 2}, size=1.0)       # tiny, would arrive first
+        env.run()
+        assert got == [1, 2]
+
+    def test_message_size_validation(self):
+        with pytest.raises(ValueError):
+            Message(kind="x", src="a", dst="b", size=0)
+
+    def test_stats_accounting(self, env):
+        net, a, b = make_pair(env)
+        b.on("m", lambda msg: None)
+        a.send("m", "b", size=100.0)
+        a.send("m", "b", size=200.0)
+        env.run()
+        assert net.stats.sent == 2
+        assert net.stats.delivered == 2
+        assert net.stats.bytes_sent == 300.0
+        assert net.stats.by_kind["m"] == 2
+
+    def test_unknown_destination_dropped(self, env):
+        net, a, _b = make_pair(env)
+        a.send("m", "ghost")
+        env.run()
+        assert net.stats.dropped == 1
+
+    def test_bandwidth_validation(self, env):
+        with pytest.raises(ValueError):
+            Network(env, bandwidth=0)
+
+
+class TestFailureInjection:
+    def test_down_node_drops_inbound(self, env):
+        net, a, b = make_pair(env)
+        got = []
+        b.on("m", lambda msg: got.append(1))
+        net.set_down("b")
+        a.send("m", "b")
+        env.run()
+        assert not got and net.stats.dropped == 1
+
+    def test_down_node_drops_outbound(self, env):
+        net, a, b = make_pair(env)
+        got = []
+        b.on("m", lambda msg: got.append(1))
+        net.set_down("a")
+        a.send("m", "b")
+        env.run()
+        assert not got
+
+    def test_in_flight_message_lost_on_crash(self, env):
+        net, a, b = make_pair(env, latency=1.0)
+        got = []
+        b.on("m", lambda msg: got.append(1))
+
+        def crash():
+            yield env.timeout(0.5)
+            net.set_down("b")
+
+        a.send("m", "b")
+        env.process(crash())
+        env.run()
+        assert not got and net.stats.dropped == 1
+
+    def test_set_up_restores(self, env):
+        net, a, b = make_pair(env)
+        got = []
+        b.on("m", lambda msg: got.append(1))
+        net.set_down("b")
+        net.set_up("b")
+        a.send("m", "b")
+        env.run()
+        assert got == [1]
+
+    def test_set_down_unknown_raises(self, env):
+        net, *_ = make_pair(env)
+        with pytest.raises(UnknownPeer):
+            net.set_down("ghost")
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        m = ConstantLatency(0.2)
+        assert m.sample("a", "b") == 0.2 == m.expected("a", "b")
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_in_range(self):
+        m = UniformLatency(0.1, 0.2)
+        for _ in range(50):
+            assert 0.1 <= m.sample("a", "b") <= 0.2
+        assert m.expected("a", "b") == pytest.approx(0.15)
+
+    def test_uniform_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_domain_aware(self):
+        from repro.net import DomainAwareLatency
+
+        domains = {"a": "d0", "b": "d0", "c": "d1"}
+        m = DomainAwareLatency(domains.get, intra=0.01, inter=0.1, jitter=0.0)
+        assert m.sample("a", "b") == 0.01
+        assert m.sample("a", "c") == 0.1
+        assert m.expected("a", "c") == 0.1
+
+    def test_domain_aware_unknown_is_inter(self):
+        from repro.net import DomainAwareLatency
+
+        m = DomainAwareLatency(lambda pid: None, intra=0.01, inter=0.1,
+                               jitter=0.0)
+        assert m.sample("x", "y") == 0.1
+
+    def test_domain_aware_jitter_bounds(self):
+        from repro.net import DomainAwareLatency
+
+        m = DomainAwareLatency(lambda pid: "d", intra=0.01, inter=0.1,
+                               jitter=0.5)
+        for _ in range(100):
+            assert 0.005 <= m.sample("a", "b") <= 0.015
+
+    def test_domain_aware_validation(self):
+        from repro.net import DomainAwareLatency
+
+        with pytest.raises(ValueError):
+            DomainAwareLatency(lambda p: "d", jitter=1.5)
+        with pytest.raises(ValueError):
+            DomainAwareLatency(lambda p: "d", intra=-1)
+
+
+class TestExpectedDelay:
+    def test_matches_model_plus_transmission(self, env):
+        net = Network(env, ConstantLatency(0.1), bandwidth=1000.0)
+        assert net.expected_delay("a", "b", size=100.0) == pytest.approx(0.2)

@@ -1,0 +1,177 @@
+"""Overlay: qualification, join protocol, domains, backups."""
+
+import pytest
+
+from repro.core.manager import RMConfig, ResourceManager
+from repro.net import ConstantLatency, Network
+from repro.overlay import OverlayNetwork, PeerSpec, QualificationPolicy
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def overlay(env):
+    net = Network(env, ConstantLatency(0.005), bandwidth=1e7)
+    return OverlayNetwork(
+        env, net,
+        rm_config=RMConfig(max_peers=4),
+        enable_gossip=False,
+    )
+
+
+def spec(pid, power=10.0, bandwidth=2e6, uptime=0.9):
+    return PeerSpec(peer_id=pid, power=power, bandwidth=bandwidth,
+                    uptime=uptime)
+
+
+class TestQualification:
+    def test_thresholds(self):
+        q = QualificationPolicy(min_power=5, min_bandwidth=1e6,
+                                min_uptime=0.7)
+        assert q.qualifies(5, 1e6, 0.7)
+        assert not q.qualifies(4.9, 1e6, 0.7)
+        assert not q.qualifies(5, 9e5, 0.7)
+        assert not q.qualifies(5, 1e6, 0.69)
+
+    def test_unqualified_score_is_zero(self):
+        q = QualificationPolicy()
+        assert q.score(1.0, 1.0, 0.1) == 0.0
+
+    def test_score_grows_with_resources(self):
+        q = QualificationPolicy()
+        assert q.score(20, 2e6, 0.9) > q.score(10, 2e6, 0.9)
+
+    def test_rank_excludes_unqualified_and_is_deterministic(self):
+        q = QualificationPolicy()
+        candidates = [
+            ("weak", 1.0, 1e3, 0.1),
+            ("strong", 50.0, 1e7, 0.99),
+            ("mid", 10.0, 2e6, 0.8),
+        ]
+        assert q.rank(candidates) == ["strong", "mid"]
+        assert q.rank(candidates) == q.rank(list(candidates))
+
+
+class TestJoin:
+    def test_first_qualifying_peer_creates_domain(self, overlay):
+        node = overlay.join(spec("p0"))
+        assert node is not None
+        assert overlay.n_domains == 1
+        assert isinstance(node, ResourceManager) and node.active
+
+    def test_first_unqualified_peer_rejected(self, overlay):
+        assert overlay.join(spec("p0", power=0.1)) is None
+        assert overlay.stats["join_rejects"] == 1
+
+    def test_members_join_existing_domain(self, overlay):
+        overlay.join(spec("p0"))
+        node = overlay.join(spec("p1"))
+        assert overlay.n_domains == 1
+        assert node.rm_id == "p0"
+        rm = overlay.domains[overlay.domain_of["p0"]].rm
+        assert rm.info.has_peer("p1")
+
+    def test_duplicate_join_rejected(self, overlay):
+        overlay.join(spec("p0"))
+        with pytest.raises(ValueError):
+            overlay.join(spec("p0"))
+
+    def test_domain_splits_when_full(self, overlay):
+        for i in range(4):  # fills domain 0 (max_peers=4)
+            overlay.join(spec(f"p{i}"))
+        assert overlay.n_domains == 1
+        overlay.join(spec("p4"))  # qualified: promoted to new domain
+        assert overlay.n_domains == 2
+        assert overlay.stats["promotions"] == 2  # bootstrap + split
+
+    def test_unqualified_peer_rejected_when_all_full(self, overlay):
+        for i in range(4):
+            overlay.join(spec(f"p{i}"))
+        weak = overlay.join(spec("weak", power=1.0))
+        assert weak is None
+
+    def test_unqualified_peer_accepted_when_room(self, overlay):
+        overlay.join(spec("p0"))
+        weak = overlay.join(spec("weak", power=1.0))
+        assert weak is not None
+        assert not isinstance(weak, ResourceManager)
+
+    def test_second_qualifying_member_becomes_backup(self, overlay):
+        overlay.join(spec("p0"))
+        backup = overlay.join(spec("p1"))
+        domain = next(iter(overlay.domains.values()))
+        assert domain.backup is backup
+        assert isinstance(backup, ResourceManager) and not backup.active
+        assert domain.rm.backup_id == "p1"
+        assert domain.failover is not None
+
+    def test_backups_disabled(self, env):
+        net = Network(env, ConstantLatency(0.005))
+        overlay = OverlayNetwork(
+            env, net, rm_config=RMConfig(max_peers=4),
+            enable_backups=False, enable_gossip=False,
+        )
+        overlay.join(spec("p0"))
+        overlay.join(spec("p1"))
+        domain = next(iter(overlay.domains.values()))
+        assert domain.backup is None
+
+    def test_objects_and_services_enrolled(self, overlay):
+        from repro.media import MediaFormat, MediaObject
+        from repro.overlay.network import ServiceInstanceSpec
+
+        fmt_a = MediaFormat("MPEG-2", 640, 480, 256.0)
+        fmt_b = MediaFormat("MPEG-4", 640, 480, 64.0)
+        obj = MediaObject("film", fmt_a)
+        s = PeerSpec(
+            peer_id="p0", power=10.0, bandwidth=2e6, uptime=0.9,
+            objects={"film": obj},
+            services=[ServiceInstanceSpec(fmt_a, fmt_b, "tc1", 10.0, 1e5)],
+        )
+        overlay.join(s)
+        rm = next(iter(overlay.domains.values())).rm
+        assert rm.object_catalog["film"] is obj
+        assert rm.info.peers_with_object("film") == ["p0"]
+        assert rm.info.resource_graph.n_edges == 1
+
+    def test_new_rms_know_each_other(self, overlay):
+        for i in range(5):  # forces a second domain
+            overlay.join(spec(f"p{i}"))
+        rms = overlay.rms()
+        assert len(rms) == 2
+        a, b = rms
+        assert b.node_id in a.known_rms
+        assert a.node_id in b.known_rms
+
+
+class TestDepartures:
+    def test_fail_peer_cleans_registry(self, overlay):
+        overlay.join(spec("p0"))
+        overlay.join(spec("p1"))
+        overlay.join(spec("p2"))
+        overlay.fail_peer("p2")
+        assert "p2" not in overlay.peers
+        assert "p2" not in overlay.domain_of
+
+    def test_backup_departure_clears_designation(self, overlay):
+        overlay.join(spec("p0"))
+        overlay.join(spec("p1"))  # backup
+        domain = next(iter(overlay.domains.values()))
+        assert domain.backup is not None
+        overlay.fail_peer("p1")
+        assert domain.backup is None
+        assert domain.failover is None
+        assert domain.rm.backup_id is None
+
+    def test_leave_peer_is_graceful(self, overlay, env):
+        overlay.join(spec("p0"))
+        overlay.join(spec("p1"))
+        overlay.join(spec("p2"))
+        rm = next(iter(overlay.domains.values())).rm
+        overlay.leave_peer("p2")
+        env.run(until=1.0)
+        assert not rm.info.has_peer("p2")

@@ -1,0 +1,184 @@
+"""The sensor-pipeline application domain (architecture generality)."""
+
+import numpy as np
+import pytest
+
+from repro.pipelines import (
+    DataForm,
+    PipelineCatalog,
+    PipelineCostModel,
+    SensorRecording,
+    StageSpec,
+)
+
+
+ECG_RAW = DataForm("ecg", "raw", 500.0)
+ECG_FILT = DataForm("ecg", "filtered", 500.0)
+ECG_COMP = DataForm("ecg", "compressed", 500.0)
+
+
+class TestDataForm:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            DataForm("ecg", "holographic", 500.0)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            DataForm("ecg", "raw", 0.0)
+
+    def test_bytes_per_second_by_stage(self):
+        assert ECG_RAW.bytes_per_second() == pytest.approx(2000.0)
+        assert ECG_COMP.bytes_per_second() == pytest.approx(250.0)
+
+    def test_compression_shrinks_volume(self):
+        assert ECG_COMP.bytes_per_second() < ECG_RAW.bytes_per_second()
+
+    def test_hashable_state(self):
+        assert DataForm("ecg", "raw", 500.0) == ECG_RAW
+        assert len({ECG_RAW, DataForm("ecg", "raw", 500.0)}) == 1
+
+
+class TestStageSpec:
+    def test_identity_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(ECG_RAW, ECG_RAW, "bandpass_filter")
+
+    def test_cross_kind_rejected(self):
+        eeg = DataForm("eeg", "raw", 256.0)
+        with pytest.raises(ValueError):
+            StageSpec(ECG_RAW, eeg, "bandpass_filter")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(ECG_RAW, ECG_FILT, "quantum_filter")
+
+    def test_service_id_descriptive(self):
+        spec = StageSpec(ECG_RAW, ECG_FILT, "bandpass_filter")
+        assert "bandpass_filter" in spec.service_id
+        assert "ecg" in spec.service_id
+
+
+class TestCostModel:
+    def test_work_scales_with_rate_and_duration(self):
+        m = PipelineCostModel()
+        slow = DataForm("spo2", "raw", 25.0)
+        assert m.work("bandpass_filter", ECG_RAW, 60.0) > \
+            m.work("bandpass_filter", slow, 60.0)
+        assert m.work("bandpass_filter", ECG_RAW, 120.0) == pytest.approx(
+            2 * m.work("bandpass_filter", ECG_RAW, 60.0)
+        )
+
+    def test_compression_costs_more_than_filtering(self):
+        m = PipelineCostModel()
+        assert m.work("wavelet_compress", ECG_FILT, 60.0) > \
+            m.work("bandpass_filter", ECG_RAW, 60.0)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            PipelineCostModel().work("sorcery", ECG_RAW, 60.0)
+
+
+class TestCatalog:
+    def test_stage_pool_well_formed(self):
+        cat = PipelineCatalog()
+        for stage in cat.stages():
+            assert stage.src.kind == stage.dst.kind
+            assert stage.dst.rate_hz <= stage.src.rate_hz
+
+    def test_no_upsampling(self):
+        cat = PipelineCatalog()
+        assert all(
+            b.rate_hz <= a.rate_hz for a, b in cat.conversions()
+        )
+
+    def test_work_of_known_stage(self):
+        cat = PipelineCatalog()
+        a, b = cat.conversions()[0]
+        assert cat.work_of(a, b) > 0
+
+    def test_work_of_unknown_stage(self):
+        cat = PipelineCatalog()
+        with pytest.raises(ValueError):
+            cat.work_of(ECG_RAW, DataForm("eeg", "raw", 256.0))
+
+    def test_reachability(self):
+        cat = PipelineCatalog()
+        reach = cat.reachable_from(ECG_RAW, max_hops=3)
+        assert ECG_FILT in reach
+        assert DataForm("ecg", "compressed", 500.0) in reach
+        # Other signal kinds are unreachable from an ECG source.
+        assert all(f.kind == "ecg" for f in reach)
+
+    def test_source_formats_are_raw(self):
+        cat = PipelineCatalog()
+        assert all(f.stage == "raw" for f in cat.source_formats())
+        assert len(cat.source_formats()) == 3
+
+
+class TestSensorRecording:
+    def test_size(self):
+        rec = SensorRecording("r", ECG_RAW, duration_s=10.0)
+        assert rec.size_bytes == pytest.approx(20_000.0)
+
+    def test_media_object_protocol(self):
+        """The attributes the RM/workload machinery relies on."""
+        rec = SensorRecording("r", ECG_RAW)
+        for attr in ("name", "fmt", "duration_s", "size_bytes"):
+            assert hasattr(rec, attr)
+        assert rec.content_hash and len(rec.content_hash) == 16
+
+
+@pytest.mark.integration
+class TestEndToEndPipelines:
+    def test_full_system_on_pipeline_domain(self):
+        """The unchanged core completes pipeline tasks end to end."""
+        from repro.core.manager import RMConfig
+        from repro.metrics import MetricsCollector
+        from repro.net import Network
+        from repro.overlay import OverlayNetwork
+        from repro.sim import Environment, RandomStreams
+        from repro.workloads.arrivals import (
+            TaskArrivalProcess,
+            WorkloadConfig,
+        )
+        from repro.workloads.population import (
+            PopulationConfig,
+            generate_specs,
+        )
+
+        streams = RandomStreams(11)
+        env = Environment()
+        net = Network(env, bandwidth=2.5e5)
+        metrics = MetricsCollector(env)
+        overlay = OverlayNetwork(
+            env, net, rm_config=RMConfig(max_peers=16),
+            on_task_event=metrics.on_task_event, streams=streams,
+        )
+        catalog = PipelineCatalog()
+        recordings = [
+            SensorRecording(f"rec{i}", form)
+            for i, form in enumerate(catalog.source_formats() * 2)
+        ]
+        specs = generate_specs(
+            catalog,
+            PopulationConfig(n_peers=10, n_objects=len(recordings),
+                             replication=2, services_per_peer=8),
+            streams.get("population"),
+            objects=recordings,
+        )
+        for spec in specs:
+            overlay.join(spec)
+        TaskArrivalProcess(
+            overlay, catalog, recordings,
+            config=WorkloadConfig(rate=0.5, deadline_slack=4.0,
+                                  stop_at=100.0),
+            rng=streams.get("arrivals"),
+        )
+        env.run(until=160.0)
+        summary = metrics.summary(net_stats=net.stats)
+        assert summary.n_submitted > 10
+        assert summary.goodput > 0.8
+        # At least one task used a genuine multi-stage pipeline.
+        assert any(
+            len(t.allocation) >= 2 for t in metrics.tasks.values()
+        )

@@ -1,0 +1,140 @@
+"""Environment: clock, queue ordering, run() modes, error surfacing."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.events import NORMAL, URGENT
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClockAndQueue:
+    def test_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(IndexError):
+            env.step()
+
+    def test_events_fire_in_time_order(self, env):
+        order = []
+        for delay in (3, 1, 2):
+            ev = env.timeout(delay, delay)
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo_within_priority(self, env):
+        order = []
+        for tag in "abc":
+            ev = env.event()
+            ev.callbacks.append(lambda e: order.append(e.value))
+            ev.succeed(tag)
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_urgent_beats_normal_at_same_time(self, env):
+        order = []
+        normal = env.event()
+        normal.callbacks.append(lambda e: order.append("normal"))
+        normal._ok = True
+        normal._value = None
+        env.schedule(normal, priority=NORMAL)
+        urgent = env.event()
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        urgent._ok = True
+        urgent._value = None
+        env.schedule(urgent, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_double_schedule_rejected(self, env):
+        ev = env.event().succeed()
+        with pytest.raises(RuntimeError):
+            env.schedule(ev)
+
+
+class TestRunModes:
+    def test_run_until_time_sets_clock(self, env):
+        def ticker():
+            while True:
+                yield env.timeout(1)
+
+        env.process(ticker())
+        env.run(until=10.5)
+        assert env.now == 10.5
+
+    def test_run_until_time_in_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(4)
+            return "result"
+
+        assert env.run(env.process(proc())) == "result"
+        assert env.now == 4.0
+
+    def test_run_until_already_processed_event(self, env):
+        ev = env.timeout(0, "x")
+        env.run()
+        assert env.run(until=ev) == "x"
+
+    def test_run_until_event_failure_reraises(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        with pytest.raises(ValueError, match="inner"):
+            env.run(env.process(proc()))
+
+    def test_run_until_starved_event_raises(self, env):
+        ev = env.event()  # never triggered, queue empties
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="starved"):
+            env.run(until=ev)
+
+    def test_run_to_exhaustion(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        env.run()
+        assert env.now == 2.0
+
+    def test_unhandled_failed_event_raises_from_run(self, env):
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            ev.fail(RuntimeError("unwitnessed"))
+
+        env.process(failer())
+        with pytest.raises(RuntimeError, match="unwitnessed"):
+            env.run()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def worker(name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for i in range(5):
+                env.process(worker(f"w{i}", 1 + i * 0.1))
+            env.run()
+            return log
+
+        assert build_and_run() == build_and_run()

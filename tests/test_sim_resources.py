@@ -1,0 +1,194 @@
+"""Resource, PriorityResource and Store primitives."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_grant_immediately_when_free(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queue_when_full_fifo(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(name, hold):
+            with res.request() as req:
+                yield req
+                order.append((env.now, name))
+                yield env.timeout(hold)
+
+        for i in range(3):
+            env.process(user(f"u{i}", 2))
+        env.run()
+        assert order == [(0.0, "u0"), (2.0, "u1"), (4.0, "u2")]
+
+    def test_release_ungranted_cancels(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()
+        waiting = res.request()
+        assert not waiting.triggered
+        res.release(waiting)  # cancel from the queue
+        res.release(held)
+        assert res.count == 0 and not res.queue
+
+    def test_cancel_method(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        waiting = res.request()
+        waiting.cancel()
+        assert waiting not in res.queue
+
+
+class TestPriorityResource:
+    def test_lower_priority_number_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(name, prio):
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+            res.release(req)
+
+        def driver():
+            first = res.request(priority=0)
+            yield first
+            env.process(user("low", 5))
+            env.process(user("high", 1))
+            yield env.timeout(1)
+            res.release(first)
+
+        env.process(driver())
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        blocker = res.request(priority=0)
+        a = res.request(priority=2)
+        b = res.request(priority=2)
+        res.release(blocker)
+        env.run()
+        assert a.triggered and not b.triggered
+
+
+class TestStore:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_put_then_get(self, env):
+        st = Store(env)
+        st.put("item")
+        got = []
+
+        def getter():
+            item = yield st.get()
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == ["item"]
+
+    def test_get_blocks_until_put(self, env):
+        st = Store(env)
+        got = []
+
+        def getter():
+            item = yield st.get()
+            got.append((env.now, item))
+
+        def putter():
+            yield env.timeout(4)
+            yield st.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(4.0, "late")]
+
+    def test_bounded_put_blocks(self, env):
+        st = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield st.put(1)
+            log.append(("put1", env.now))
+            yield st.put(2)
+            log.append(("put2", env.now))
+
+        def consumer():
+            yield env.timeout(5)
+            item = yield st.get()
+            log.append(("got", item, env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("put1", 0.0) in log
+        assert ("got", 1, 5.0) in log
+        assert ("put2", 5.0) in log
+
+    def test_filtered_get(self, env):
+        st = Store(env)
+        st.put({"id": 1})
+        st.put({"id": 2})
+        got = []
+
+        def getter():
+            item = yield st.get(filter=lambda m: m["id"] == 2)
+            got.append(item)
+
+        env.process(getter())
+        env.run()
+        assert got == [{"id": 2}]
+        assert st.items == [{"id": 1}]
+
+    def test_filtered_get_waits_for_match(self, env):
+        st = Store(env)
+        st.put("no-match")
+        got = []
+
+        def getter():
+            item = yield st.get(filter=lambda m: m == "match")
+            got.append((env.now, item))
+
+        def putter():
+            yield env.timeout(3)
+            yield st.put("match")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [(3.0, "match")]
+
+    def test_cancel_get(self, env):
+        st = Store(env)
+        pending = st.get()
+        st.cancel_get(pending)
+        st.put("x")
+        env.run()
+        assert st.items == ["x"]
+        assert not pending.triggered
+
+    def test_len(self, env):
+        st = Store(env)
+        st.put("a")
+        st.put("b")
+        env.run()
+        assert len(st) == 2
