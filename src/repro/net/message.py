@@ -13,6 +13,20 @@ def _next_id() -> int:
     return next(_msg_counter)
 
 
+def reset_message_ids(start: int = 1) -> None:
+    """Rewind the module-global message-id counter.
+
+    Repeated in-process runs (experiment sweeps, notebook re-runs) share
+    this module's counter, so without a reset the *second* run's message
+    ids differ from a fresh interpreter's — breaking trace comparisons.
+    Experiment setup calls this so identical configs produce identical
+    ids.  Never call it mid-run: id uniqueness within one run depends on
+    the counter only moving forward.
+    """
+    global _msg_counter
+    _msg_counter = itertools.count(start)
+
+
 @dataclass
 class Message:
     """A point-to-point overlay message.
@@ -48,6 +62,11 @@ class Message:
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise ValueError(f"message size must be positive, got {self.size}")
+
+    @staticmethod
+    def reset_ids(start: int = 1) -> None:
+        """Rewind automatic id assignment (see :func:`reset_message_ids`)."""
+        reset_message_ids(start)
 
     def is_reply(self) -> bool:
         """True if this message answers an earlier request."""

@@ -42,6 +42,21 @@ class NetworkStats:
         node = max(self.by_dst, key=self.by_dst.get)
         return (node, self.by_dst[node])
 
+    def summary(self) -> Dict[str, Any]:
+        """Counters as a plain dict, identical in shape for every
+        transport (simulated fabric and live UDP), so sim and live runs
+        report comparable traffic stats."""
+        hot, hot_n = self.hottest_destination()
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "bytes_sent": self.bytes_sent,
+            "by_kind": dict(self.by_kind),
+            "hottest_dst": hot,
+            "hottest_dst_count": hot_n,
+        }
+
 
 class Network:
     """Point-to-point message fabric between registered nodes.

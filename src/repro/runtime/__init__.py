@@ -1,0 +1,58 @@
+"""Live asyncio/UDP runtime for the middleware protocol.
+
+The simulator (:mod:`repro.sim` + :mod:`repro.net`) and this package run
+the *same* protocol objects (:class:`~repro.core.peer.Peer`,
+:class:`~repro.core.manager.ResourceManager`) — the runtime swaps the
+fabric underneath them:
+
+:mod:`repro.runtime.codec`
+    Versioned JSON wire format for :class:`~repro.net.message.Message`.
+:mod:`repro.runtime.transport`
+    The :class:`Transport` abstraction with a simulated
+    (:class:`SimTransport`) and a live UDP (:class:`UdpTransport`)
+    implementation (acks, retries, duplicate suppression).
+:mod:`repro.runtime.node`
+    :class:`LiveNode`: one protocol endpoint whose event kernel is
+    pumped in wall-clock time on an asyncio loop.
+:mod:`repro.runtime.bootstrap`
+    The registration service that seeds a domain and runs the §4.1 RM
+    qualification election.
+:mod:`repro.runtime.cluster`
+    :class:`LiveCluster`: an in-process N-peers-plus-RM harness for
+    tests and demos.
+"""
+
+from repro.runtime.codec import (
+    WIRE_VERSION,
+    WireFormatError,
+    decode_frame,
+    encode_ack,
+    encode_message,
+)
+from repro.runtime.transport import (
+    PeerDirectory,
+    SimTransport,
+    Transport,
+    UdpTransport,
+)
+from repro.runtime.node import LiveNode, NodeSpec, SimClockPump
+from repro.runtime.bootstrap import BootstrapServer
+from repro.runtime.cluster import LiveCluster, LiveClusterConfig
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireFormatError",
+    "decode_frame",
+    "encode_ack",
+    "encode_message",
+    "PeerDirectory",
+    "SimTransport",
+    "Transport",
+    "UdpTransport",
+    "LiveNode",
+    "NodeSpec",
+    "SimClockPump",
+    "BootstrapServer",
+    "LiveCluster",
+    "LiveClusterConfig",
+]

@@ -1,0 +1,143 @@
+"""The live domain's registration service (Socket-Project-style manager).
+
+A well-known UDP endpoint that seeds a domain: peers register with
+``JOIN_REQUEST`` (capabilities + hosted objects/service edges); once
+``expected_peers`` have registered, the server runs the §4.1 RM
+qualification election (:class:`~repro.overlay.qualification.
+QualificationPolicy`) over the announced ``(power, bandwidth, uptime)``
+triples and acknowledges every member with its role, the elected RM,
+and the full roster.  Late joiners get an immediate ``JOIN_ACK`` and
+are forwarded to the RM so it admits them into the domain information
+base.  Graceful ``PEER_LEAVE`` prunes the roster and the address
+directory.
+
+The server speaks the same reliable-datagram transport as the nodes —
+it is *not* a protocol endpoint (no event kernel, no Profiler): pure
+membership plumbing, like the paper's out-of-band "initial domain
+formation" step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core import protocol
+from repro.net.message import Message
+from repro.overlay.qualification import QualificationPolicy
+from repro.runtime.transport import PeerDirectory, UdpTransport
+
+#: Default well-known identity of the bootstrap endpoint.
+BOOTSTRAP_ID = "bootstrap"
+
+
+class BootstrapServer:
+    """Domain seeding, RM election, and membership bookkeeping."""
+
+    def __init__(
+        self,
+        directory: PeerDirectory,
+        expected_peers: int,
+        node_id: str = BOOTSTRAP_ID,
+        domain_id: str = "d0",
+        policy: Optional[QualificationPolicy] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **transport_kwargs: Any,
+    ) -> None:
+        if expected_peers < 2:
+            raise ValueError("a domain needs at least an RM and one peer")
+        self.node_id = node_id
+        self.domain_id = domain_id
+        self.expected_peers = expected_peers
+        self.policy = policy or QualificationPolicy()
+        self.directory = directory
+        self.transport = UdpTransport(
+            node_id, directory, self._handle, host=host, port=port,
+            **transport_kwargs,
+        )
+        #: peer id -> announced JOIN_REQUEST payload.
+        self.members: Dict[str, Dict[str, Any]] = {}
+        self.rm_id: Optional[str] = None
+        self.departures = 0
+
+    async def start(self) -> "BootstrapServer":
+        await self.transport.start()
+        return self
+
+    def close(self) -> None:
+        self.transport.close()
+
+    @property
+    def elected(self) -> bool:
+        return self.rm_id is not None
+
+    # -- message handling --------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        if msg.kind == protocol.JOIN_REQUEST:
+            self._handle_join(msg)
+        elif msg.kind == protocol.PEER_LEAVE:
+            self._handle_leave(msg)
+        # anything else: dropped, datagram-style
+
+    def _handle_join(self, msg: Message) -> None:
+        rec = msg.payload
+        pid = rec.get("peer_id", msg.src)
+        self.members[pid] = rec
+        self.directory.add(pid, rec["host"], rec["port"])
+        if self.elected:
+            # Late joiner: immediate ack + hand the record to the RM.
+            self._ack(pid, role="peer")
+            if self.rm_id in self.directory:
+                self.transport.send(Message(
+                    kind=protocol.JOIN_REQUEST, src=self.node_id,
+                    dst=self.rm_id, payload=dict(rec),
+                    size=protocol.size_of(protocol.JOIN_REQUEST),
+                ))
+            return
+        if len(self.members) >= self.expected_peers:
+            self._elect_and_seed()
+
+    def _handle_leave(self, msg: Message) -> None:
+        pid = msg.payload.get("peer_id", msg.src)
+        if self.members.pop(pid, None) is not None:
+            self.departures += 1
+        self.directory.remove(pid)
+
+    # -- election ----------------------------------------------------------
+    def _elect_and_seed(self) -> None:
+        """Rank candidates (§4.1) and acknowledge the whole domain."""
+        candidates = [
+            (pid, rec["power"], rec["bandwidth"], rec.get("uptime", 1.0))
+            for pid, rec in self.members.items()
+        ]
+        eligible = self.policy.rank(candidates)
+        if eligible:
+            self.rm_id = eligible[0]
+        else:
+            # Nobody clears the §4.1 minimums: seed with the most
+            # affluent peer anyway (a domain must have *some* leader).
+            self.rm_id = max(
+                candidates, key=lambda c: (c[1] * c[2] * c[3], c[0])
+            )[0]
+        for pid in self.members:
+            self._ack(pid, role="rm" if pid == self.rm_id else "peer")
+
+    def _ack(self, pid: str, role: str) -> None:
+        self.transport.send(Message(
+            kind=protocol.JOIN_ACK,
+            src=self.node_id,
+            dst=pid,
+            payload={
+                "role": role,
+                "rm_id": self.rm_id,
+                "domain_id": self.domain_id,
+                "roster": {p: dict(r) for p, r in self.members.items()},
+            },
+            size=protocol.size_of(protocol.JOIN_ACK),
+        ))
+
+    def __repr__(self) -> str:
+        return (
+            f"<BootstrapServer {self.node_id} members={len(self.members)}"
+            f"/{self.expected_peers} rm={self.rm_id}>"
+        )

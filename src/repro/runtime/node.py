@@ -1,0 +1,362 @@
+"""A live protocol endpoint: the sim kernel pumped in wall-clock time.
+
+The protocol layer (:class:`~repro.core.peer.Peer`,
+:class:`~repro.core.manager.ResourceManager`) is written against the
+discrete-event kernel — handler dispatch, profiler loops, RPC timeouts
+are all :mod:`repro.sim` processes.  Rather than forking that logic for
+the live runtime, each :class:`LiveNode` embeds its *own*
+:class:`~repro.sim.core.Environment` and advances it in soft real time
+on the asyncio loop (:class:`SimClockPump`): an event scheduled at sim
+time *t* fires when the wall clock reaches *t* seconds after node
+start.  Sim seconds == wall seconds, so the Profiler's ``LOAD_UPDATE``
+heartbeats, the RM's liveness monitor and every protocol timeout run on
+real wall-clock timers — through the exact same code paths as the
+simulator.
+
+Inbound UDP messages are decoded by the transport and dropped into the
+node's ordinary mailbox; the dispatcher process picks them up on the
+next pump step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.core import protocol
+from repro.core.info_base import PeerRecord
+from repro.core.manager import ResourceManager, RMConfig, TaskEventFn
+from repro.core.peer import Peer, PeerConfig
+from repro.media.objects import MediaObject
+from repro.net.message import Message
+from repro.sim.core import Environment
+from repro.sim.events import Event
+from repro.runtime.transport import PeerDirectory, UdpTransport
+
+
+class SimClockPump:
+    """Advances a sim :class:`Environment` in wall-clock time.
+
+    Anchors sim time 0 at the loop time of :meth:`run`'s first
+    iteration; thereafter steps every event whose scheduled time is due
+    and sleeps until the next one (or until :meth:`kick` signals that an
+    external source — a received datagram — scheduled new work).
+    """
+
+    def __init__(self, env: Environment, max_batch: int = 1000) -> None:
+        self.env = env
+        self.max_batch = max_batch
+        self._wake: Optional[asyncio.Event] = None
+        self._stopped = False
+        self._anchor = 0.0
+
+    def kick(self) -> None:
+        """Wake the pump (new externally-scheduled work)."""
+        if self._wake is not None:
+            self._wake.set()
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.kick()
+
+    @property
+    def wall_sim_now(self) -> float:
+        """The sim time corresponding to the current wall clock."""
+        loop = asyncio.get_event_loop()
+        return loop.time() - self._anchor
+
+    def run_process(
+        self, gen: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> "asyncio.Future[Any]":
+        """Start *gen* as a sim process; resolve a future with its result."""
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future[Any] = loop.create_future()
+        proc = self.env.process(gen, name=name)
+
+        def _finish(event: Event) -> None:
+            if future.cancelled():
+                return
+            if event.ok:
+                future.set_result(event.value)
+            else:
+                future.set_exception(event.value)
+
+        proc.callbacks.append(_finish)
+        self.kick()
+        return future
+
+    async def run(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._anchor = loop.time() - self.env.now
+        while not self._stopped:
+            due = loop.time() - self._anchor
+            stepped = 0
+            while (
+                not self._stopped
+                and stepped < self.max_batch
+                and self.env.peek() <= due
+            ):
+                self.env.step()
+                stepped += 1
+            if self._stopped:
+                break
+            if stepped >= self.max_batch:
+                await asyncio.sleep(0)  # yield to I/O, keep draining
+                continue
+            nxt = self.env.peek()
+            if nxt == float("inf"):
+                await self._wait(None)
+            else:
+                delay = (self._anchor + nxt) - loop.time()
+                if delay > 0:
+                    await self._wait(delay)
+
+    async def _wait(self, timeout: Optional[float]) -> None:
+        assert self._wake is not None
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        self._wake.clear()
+
+
+@dataclass
+class NodeSpec:
+    """A live node's identity, capabilities, and hosted inventory.
+
+    ``service_edges`` are the resource-graph edges this peer can
+    execute, announced at registration so the elected RM can build the
+    domain resource graph: dicts with keys ``src``, ``dst`` (states,
+    e.g. :class:`~repro.media.formats.MediaFormat`), ``service_id``,
+    ``work``, ``out_bytes``, ``edge_id``.
+    """
+
+    node_id: str
+    power: float = 10.0
+    bandwidth: float = 1.25e6
+    uptime: float = 1.0
+    objects: List[MediaObject] = field(default_factory=list)
+    service_edges: List[Dict[str, Any]] = field(default_factory=list)
+    profiler_update_period: float = 0.5
+    scheduling_policy: str = "LLS"
+
+    def peer_config(self) -> PeerConfig:
+        return PeerConfig(
+            power=self.power,
+            bandwidth=self.bandwidth,
+            uptime_score=self.uptime,
+            scheduling_policy=self.scheduling_policy,
+            profiler_update_period=self.profiler_update_period,
+        )
+
+
+class LiveNode:
+    """One middleware process: socket + event kernel + protocol endpoint.
+
+    Lifecycle: :meth:`start` binds the UDP socket, starts the clock
+    pump, registers with the bootstrap service, and — once the
+    ``JOIN_ACK`` assigns a role — constructs the *ordinary* protocol
+    object (a :class:`Peer`, or a :class:`ResourceManager` if this node
+    won the §4.1 qualification election).  From then on the node is
+    indistinguishable from its simulated twin: same handlers, same
+    message kinds, same timeouts.
+    """
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        directory: PeerDirectory,
+        bootstrap_id: str = "bootstrap",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rm_config: Optional[RMConfig] = None,
+        allocator: Any = None,
+        on_task_event: Optional[TaskEventFn] = None,
+        join_timeout: float = 10.0,
+        **transport_kwargs: Any,
+    ) -> None:
+        self.spec = spec
+        self.node_id = spec.node_id
+        self.bootstrap_id = bootstrap_id
+        self.rm_config = rm_config
+        self.allocator = allocator
+        self.on_task_event = on_task_event
+        self.join_timeout = join_timeout
+        self.env = Environment()
+        self.pump = SimClockPump(self.env)
+        self.directory = directory
+        self.transport = UdpTransport(
+            spec.node_id, directory, self._on_wire_message,
+            host=host, port=port, **transport_kwargs,
+        )
+        #: The protocol endpoint; built once the JOIN_ACK assigns a role.
+        self.node: Optional[Peer] = None
+        self.role: Optional[str] = None
+        self.rm_id: Optional[str] = None
+        self.domain_id: Optional[str] = None
+        self._joined = asyncio.Event()
+        self._join_payload: Optional[Dict[str, Any]] = None
+        self._pump_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "LiveNode":
+        """Bind, pump, register, and assume the assigned role."""
+        await self.transport.start()
+        self._pump_task = asyncio.get_running_loop().create_task(
+            self.pump.run(), name=f"pump:{self.node_id}"
+        )
+        self.transport.send(Message(
+            kind=protocol.JOIN_REQUEST,
+            src=self.node_id,
+            dst=self.bootstrap_id,
+            payload=self._join_request_payload(),
+            size=protocol.size_of(protocol.JOIN_REQUEST),
+        ))
+        await asyncio.wait_for(self._joined.wait(), self.join_timeout)
+        assert self._join_payload is not None
+        self._assume_role(self._join_payload)
+        return self
+
+    def _join_request_payload(self) -> Dict[str, Any]:
+        return {
+            "peer_id": self.node_id,
+            "host": self.transport.host,
+            "port": self.transport.port,
+            "power": self.spec.power,
+            "bandwidth": self.spec.bandwidth,
+            "uptime": self.spec.uptime,
+            "objects": list(self.spec.objects),
+            "edges": [dict(e) for e in self.spec.service_edges],
+        }
+
+    async def leave(self) -> None:
+        """Graceful departure: PEER_LEAVE to RM and bootstrap, then down."""
+        payload = {"peer_id": self.node_id}
+        self.transport.send(Message(
+            kind=protocol.PEER_LEAVE, src=self.node_id,
+            dst=self.bootstrap_id, payload=payload,
+            size=protocol.size_of(protocol.PEER_LEAVE),
+        ))
+        if self.node is not None and self.node.alive:
+            self.node.leave()  # sends PEER_LEAVE to the RM, then fails
+        await self.transport.flush()
+
+    async def stop(self) -> None:
+        """Tear the node down (no departure protocol — a crash)."""
+        self.pump.stop()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self.transport.close()
+
+    # -- wiring ------------------------------------------------------------
+    def _on_wire_message(self, msg: Message) -> None:
+        if self.node is None:
+            # Pre-role phase: only the bootstrap handshake is understood.
+            if msg.kind == protocol.JOIN_ACK and not self._joined.is_set():
+                self._join_payload = msg.payload
+                self._joined.set()
+            return
+        self.node.mailbox.put(msg)
+        self.pump.kick()
+
+    def _assume_role(self, ack: Dict[str, Any]) -> None:
+        self.role = ack["role"]
+        self.rm_id = ack["rm_id"]
+        self.domain_id = ack.get("domain_id", "d0")
+        roster: Dict[str, Dict[str, Any]] = ack.get("roster", {})
+        # Learn every member's address (a shared directory already has
+        # them; a per-process one needs this).
+        for pid, rec in roster.items():
+            if pid != self.node_id and pid not in self.directory:
+                self.directory.add(pid, rec["host"], rec["port"])
+        if self.role == "rm":
+            node = ResourceManager(
+                self.env, self.transport, self.node_id, self.domain_id,
+                allocator=self.allocator,
+                rm_config=self.rm_config,
+                peer_config=self.spec.peer_config(),
+                on_task_event=self.on_task_event,
+            )
+            # Membership wiring for the live join protocol: the
+            # bootstrap forwards JOIN_REQUESTs here; admission reuses
+            # the same roster/info-base paths as the simulator overlay.
+            node.on(protocol.JOIN_REQUEST, self._make_rm_join_handler(node))
+            for pid, rec in roster.items():
+                if pid != self.node_id:
+                    self._rm_admit(node, rec)
+        else:
+            node = Peer(
+                self.env, self.transport, self.node_id,
+                config=self.spec.peer_config(),
+                rm_id=self.rm_id,
+            )
+        for obj in self.spec.objects:
+            node.store_object(obj)
+        for edge in self.spec.service_edges:
+            node.host_service(edge["service_id"], edge)
+        self.node = node
+        self.pump.kick()
+
+    def _rm_admit(self, rm: ResourceManager, rec: Dict[str, Any]) -> None:
+        """Fold one announced member into the RM's information base."""
+        if rm.info.has_peer(rec["peer_id"]):
+            return
+        rm.admit_peer(
+            PeerRecord(
+                peer_id=rec["peer_id"],
+                power=rec["power"],
+                bandwidth=rec["bandwidth"],
+                uptime_score=rec.get("uptime", 1.0),
+            ),
+            objects={obj.name: obj for obj in rec.get("objects", [])},
+        )
+        for edge in rec.get("edges", []):
+            rm.info.register_service_instance(
+                edge["src"], edge["dst"], edge["service_id"],
+                rec["peer_id"], edge["work"], edge["out_bytes"],
+                edge_id=edge.get("edge_id", ""),
+            )
+
+    def _make_rm_join_handler(
+        self, rm: ResourceManager
+    ) -> Callable[[Message], None]:
+        def handle_join(msg: Message) -> None:
+            rec = msg.payload
+            self.directory.add(rec["peer_id"], rec["host"], rec["port"])
+            self._rm_admit(rm, rec)
+        return handle_join
+
+    # -- application API ---------------------------------------------------
+    def submit_task(
+        self,
+        name: str,
+        goal_state: Any,
+        deadline: float,
+        importance: float = 1.0,
+        timeout: float = 30.0,
+    ) -> "asyncio.Future[Message]":
+        """Submit a query from this peer; resolves with the TASK_ACK."""
+        if self.node is None:
+            raise RuntimeError(f"{self.node_id} has not joined yet")
+        return self.pump.run_process(
+            self.node.submit_task(
+                name, goal_state, deadline,
+                importance=importance, timeout=timeout,
+            ),
+            name=f"{self.node_id}:submit:{name}",
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        return self.transport.summary()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveNode {self.node_id} role={self.role or 'joining'} "
+            f"@{self.transport.host}:{self.transport.port}>"
+        )

@@ -1,0 +1,388 @@
+"""The pluggable message fabric under the protocol endpoints.
+
+:class:`~repro.net.node.NetNode` (and therefore every peer and RM) only
+ever touches its fabric through a narrow surface: ``register``/
+``unregister``, ``send``, reachability (``is_up``/``set_down``/
+``set_up``) and the planning estimate ``expected_delay``.  The
+:class:`Transport` ABC names that surface; the protocol layer runs
+unchanged over either implementation:
+
+:class:`SimTransport`
+    wraps the discrete-event :class:`~repro.net.network.Network`
+    (simulation — the default everywhere else in the repo).
+:class:`UdpTransport`
+    an asyncio ``DatagramProtocol`` speaking the
+    :mod:`repro.runtime.codec` wire format over real localhost sockets,
+    with per-message acks, timeout + exponential-backoff retries, and
+    duplicate suppression keyed on ``(src, msg_id)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.net.message import Message
+from repro.net.network import Network, NetworkStats
+from repro.runtime.codec import (
+    FRAME_ACK,
+    WireFormatError,
+    decode_frame,
+    encode_ack,
+    encode_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import NetNode
+
+
+class Transport(abc.ABC):
+    """Fabric surface the protocol endpoints rely on."""
+
+    stats: NetworkStats
+
+    @abc.abstractmethod
+    def register(self, node: "NetNode") -> None:
+        """Attach a local endpoint."""
+
+    @abc.abstractmethod
+    def unregister(self, node_id: str) -> None:
+        """Detach an endpoint (departed peer)."""
+
+    @abc.abstractmethod
+    def send(self, msg: Message) -> None:
+        """Transmit *msg*; delivery is asynchronous and unreliable."""
+
+    @abc.abstractmethod
+    def is_up(self, node_id: str) -> bool:
+        """Reachability as far as this transport can tell."""
+
+    @abc.abstractmethod
+    def set_down(self, node_id: str) -> None:
+        """Mark a node unreachable (crash/disconnect)."""
+
+    @abc.abstractmethod
+    def set_up(self, node_id: str) -> None:
+        """Restore a node's reachability."""
+
+    @abc.abstractmethod
+    def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:
+        """Planning estimate of one-way delay (the RM's cost model)."""
+
+    def summary(self) -> Dict[str, Any]:
+        """Traffic counters, comparable between sim and live runs."""
+        return self.stats.summary()
+
+    def close(self) -> None:
+        """Release any underlying resources (sockets, tasks)."""
+
+
+class SimTransport(Transport):
+    """The simulated fabric behind the :class:`Transport` surface.
+
+    A thin delegate around an existing :class:`Network`; protocol code
+    written against :class:`Transport` runs in the simulator through
+    this without any behavioural change.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    @property
+    def stats(self) -> NetworkStats:  # type: ignore[override]
+        return self.network.stats
+
+    @property
+    def env(self):
+        return self.network.env
+
+    def register(self, node: "NetNode") -> None:
+        self.network.register(node)
+
+    def unregister(self, node_id: str) -> None:
+        self.network.unregister(node_id)
+
+    def send(self, msg: Message) -> None:
+        self.network.send(msg)
+
+    def is_up(self, node_id: str) -> bool:
+        return self.network.is_up(node_id)
+
+    def set_down(self, node_id: str) -> None:
+        self.network.set_down(node_id)
+
+    def set_up(self, node_id: str) -> None:
+        self.network.set_up(node_id)
+
+    def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:
+        return self.network.expected_delay(src, dst, size)
+
+
+class PeerDirectory:
+    """node id -> UDP address book (the live runtime's name service).
+
+    The bootstrap service fills it as peers register; join
+    acknowledgements carry the roster so every node can populate its
+    own copy (one process may share a single instance).
+    """
+
+    def __init__(self) -> None:
+        self._addrs: Dict[str, Tuple[str, int]] = {}
+
+    def add(self, node_id: str, host: str, port: int) -> None:
+        self._addrs[node_id] = (host, int(port))
+
+    def remove(self, node_id: str) -> None:
+        self._addrs.pop(node_id, None)
+
+    def address(self, node_id: str) -> Optional[Tuple[str, int]]:
+        return self._addrs.get(node_id)
+
+    def known(self) -> list[str]:
+        return list(self._addrs)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._addrs
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+
+#: Called with (message, attempt) before each datagram send; returning
+#: True swallows that transmission (packet-loss injection for tests).
+DropFn = Callable[[Message, int], bool]
+
+
+class UdpTransport(Transport, asyncio.DatagramProtocol):
+    """One node's live UDP endpoint.
+
+    Reliability: every data frame is acknowledged by the receiving
+    transport; the sender retries with exponential backoff until the
+    ack arrives or ``max_retries`` is exhausted (then the message is
+    *dropped*, mirroring the simulator's datagram semantics — protocol
+    layers recover through their own timeouts).  Receivers ack every
+    copy (an earlier ack may itself have been lost) but deliver a
+    given ``(src, msg_id)`` only once.
+
+    Parameters
+    ----------
+    node_id:
+        The endpoint this socket serves.
+    directory:
+        Address book used to resolve destinations.
+    on_message:
+        Callback invoked (on the event loop) with each delivered
+        :class:`Message`.
+    host, port:
+        Bind address; port 0 picks a free port (see :attr:`port` after
+        :meth:`start`).
+    ack_timeout, backoff, max_retries:
+        First-attempt ack wait, multiplicative backoff factor, and the
+        number of *re*-transmissions after the initial send.
+    est_latency, est_bandwidth:
+        Constants behind :meth:`expected_delay` (allocator cost model).
+    dedup_capacity:
+        How many ``(src, msg_id)`` keys the duplicate filter remembers.
+    drop_fn:
+        Optional outbound packet-loss shim for tests.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        directory: PeerDirectory,
+        on_message: Callable[[Message], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ack_timeout: float = 0.05,
+        backoff: float = 2.0,
+        max_retries: int = 6,
+        est_latency: float = 0.001,
+        est_bandwidth: float = 1.25e7,
+        dedup_capacity: int = 8192,
+        drop_fn: Optional[DropFn] = None,
+    ) -> None:
+        if ack_timeout <= 0 or backoff < 1.0 or max_retries < 0:
+            raise ValueError("bad reliability parameters")
+        self.node_id = node_id
+        self.directory = directory
+        self.on_message = on_message
+        self.host = host
+        self.port = port
+        self.ack_timeout = ack_timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+        self.est_latency = est_latency
+        self.est_bandwidth = est_bandwidth
+        self.drop_fn = drop_fn
+        self.stats = NetworkStats()
+        #: Extra live-only counters (beyond the shared NetworkStats).
+        self.retransmits = 0
+        self.duplicates = 0
+        self.malformed = 0
+        self.acks_sent = 0
+        self._node: Optional["NetNode"] = None
+        self._down: Set[str] = set()
+        self._seen: OrderedDict[Tuple[str, int], None] = OrderedDict()
+        self._dedup_capacity = dedup_capacity
+        self._pending_acks: Dict[Tuple[str, int], asyncio.Event] = {}
+        self._send_tasks: Set[asyncio.Task] = set()
+        self._sock: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> "UdpTransport":
+        """Bind the socket and publish this endpoint in the directory."""
+        self._loop = asyncio.get_running_loop()
+        sock, _ = await self._loop.create_datagram_endpoint(
+            lambda: self, local_addr=(self.host, self.port)
+        )
+        self._sock = sock
+        self.host, self.port = sock.get_extra_info("sockname")[:2]
+        self.directory.add(self.node_id, self.host, self.port)
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for task in list(self._send_tasks):
+            task.cancel()
+        if self._sock is not None:
+            self._sock.close()
+
+    async def flush(self, timeout: float = 1.0) -> None:
+        """Wait for in-flight reliable sends (graceful departure)."""
+        pending = [t for t in self._send_tasks if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+
+    # -- Transport surface -------------------------------------------------
+    def register(self, node: "NetNode") -> None:
+        if self._node is not None:
+            raise ValueError(
+                f"transport {self.node_id} already hosts {self._node.node_id}"
+            )
+        if node.node_id != self.node_id:
+            raise ValueError(
+                f"endpoint {self.node_id} cannot host node {node.node_id}"
+            )
+        self._node = node
+
+    def unregister(self, node_id: str) -> None:
+        if self._node is not None and self._node.node_id == node_id:
+            self._node = None
+        self._down.discard(node_id)
+
+    def is_up(self, node_id: str) -> bool:
+        if node_id in self._down:
+            return False
+        return node_id == self.node_id or node_id in self.directory
+
+    def set_down(self, node_id: str) -> None:
+        self._down.add(node_id)
+
+    def set_up(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:
+        return self.est_latency + size / self.est_bandwidth
+
+    def send(self, msg: Message) -> None:
+        """Queue *msg* for reliable transmission (fire-and-forget API)."""
+        self.stats.note_send(msg)
+        if self._closed or not self.is_up(msg.src):
+            self.stats.dropped += 1
+            return
+        if msg.dst == self.node_id:
+            # Loopback: no socket hop, but same delivery path.
+            self.stats.delivered += 1
+            self.on_message(msg)
+            return
+        if msg.dst not in self.directory:
+            self.stats.dropped += 1
+            return
+        assert self._loop is not None, "transport not started"
+        task = self._loop.create_task(self._send_reliable(msg))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    # -- reliability -------------------------------------------------------
+    async def _send_reliable(self, msg: Message) -> None:
+        frame = encode_message(msg)
+        key = (msg.dst, msg.msg_id)
+        waiter = asyncio.Event()
+        self._pending_acks[key] = waiter
+        timeout = self.ack_timeout
+        acked = False
+        try:
+            for attempt in range(self.max_retries + 1):
+                addr = self.directory.address(msg.dst)
+                if addr is None:
+                    break
+                if attempt > 0:
+                    self.retransmits += 1
+                lost = self.drop_fn is not None and self.drop_fn(msg, attempt)
+                if not lost and self._sock is not None:
+                    self._sock.sendto(frame, addr)
+                try:
+                    await asyncio.wait_for(waiter.wait(), timeout)
+                    acked = True
+                    break
+                except asyncio.TimeoutError:
+                    timeout *= self.backoff
+        finally:
+            self._pending_acks.pop(key, None)
+            if not acked:
+                self.stats.dropped += 1
+
+    # -- DatagramProtocol --------------------------------------------------
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        try:
+            frame = decode_frame(data)
+        except WireFormatError:
+            self.malformed += 1
+            return
+        if frame["t"] == FRAME_ACK:
+            waiter = self._pending_acks.get((frame["src"], frame["id"]))
+            if waiter is not None:
+                waiter.set()
+            return
+        msg: Message = frame["msg"]
+        # Ack every copy: the previous ack may have been the lost packet.
+        if self._sock is not None and not self._closed:
+            self._sock.sendto(encode_ack(self.node_id, msg.msg_id), addr)
+            self.acks_sent += 1
+        if self.node_id in self._down or self._closed:
+            return  # locally "crashed": receive nothing
+        key = (msg.src, msg.msg_id)
+        if key in self._seen:
+            self.duplicates += 1
+            return
+        self._seen[key] = None
+        if len(self._seen) > self._dedup_capacity:
+            self._seen.popitem(last=False)
+        self.stats.delivered += 1
+        self.on_message(msg)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        pass  # ICMP errors: treat like loss; retries cover it
+
+    def summary(self) -> Dict[str, Any]:
+        out = self.stats.summary()
+        out.update(
+            retransmits=self.retransmits,
+            duplicates=self.duplicates,
+            malformed=self.malformed,
+            acks_sent=self.acks_sent,
+        )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<UdpTransport {self.node_id} {self.host}:{self.port} "
+            f"sent={self.stats.sent} delivered={self.stats.delivered}>"
+        )

@@ -22,6 +22,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-run",
         description="Run one peer-to-peer middleware scenario.",
+        epilog=(
+            "To run the same protocol over real localhost UDP sockets "
+            "instead of the simulator, see repro-live."
+        ),
     )
     parser.add_argument(
         "config", nargs="?", help="scenario config JSON file"

@@ -12,6 +12,7 @@ from repro.gossip.agent import GossipConfig
 from repro.media.objects import MediaObject
 from repro.metrics.collector import MetricsCollector, RunSummary
 from repro.net.latency import DomainAwareLatency
+from repro.net.message import Message
 from repro.net.network import Network
 from repro.overlay.churn import ChurnConfig, ChurnProcess
 from repro.overlay.failover import FailoverConfig
@@ -102,6 +103,9 @@ class Scenario:
 def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     """Assemble a complete system from a :class:`ScenarioConfig`."""
     cfg = config or ScenarioConfig()
+    # Repeated in-process runs must produce identical message ids; the
+    # id counter is module-global, so rewind it per scenario.
+    Message.reset_ids()
     streams = RandomStreams(cfg.seed)
     env = Environment()
     tracer = Tracer() if cfg.tracing else None

@@ -1,0 +1,262 @@
+"""Reliability and parity tests for the live UDP transport.
+
+Packet loss is injected with the transport's ``drop_fn`` shim (drop the
+first N transmissions of a message); the ack/backoff retry loop must
+still deliver exactly once, well inside a 5-second wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.message import Message, reset_message_ids
+from repro.net.network import ConstantLatency, Network
+from repro.runtime.transport import PeerDirectory, SimTransport, UdpTransport
+from repro.sim.core import Environment
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_pair(drop_fn=None, **kwargs):
+    """Two endpoints A and B on one directory; B records deliveries."""
+    directory = PeerDirectory()
+    inbox = []
+    a = UdpTransport("A", directory, lambda m: None,
+                     drop_fn=drop_fn, **kwargs)
+    b = UdpTransport("B", directory, inbox.append, **kwargs)
+    return directory, a, b, inbox
+
+
+async def start_all(*transports):
+    for t in transports:
+        await t.start()
+
+
+def close_all(*transports):
+    for t in transports:
+        t.close()
+
+
+def drop_first(n):
+    """A DropFn swallowing the first *n* transmissions of each message."""
+    def fn(msg, attempt):
+        return attempt < n
+    return fn
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+def test_clean_delivery():
+    async def main():
+        _, a, b, inbox = make_pair()
+        await start_all(a, b)
+        try:
+            msg = Message(kind="load_update", src="A", dst="B",
+                          payload={"x": 1}, size=256.0)
+            a.send(msg)
+            assert await wait_for(lambda: len(inbox) == 1)
+            assert inbox[0] == msg
+            assert a.stats.sent == 1 and a.stats.dropped == 0
+            assert b.stats.delivered == 1
+            assert a.retransmits == 0 and b.duplicates == 0
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_retry_recovers_from_packet_loss():
+    """Drop the first 2 datagrams of every message: the exponential
+    backoff retry loop must still deliver, exactly once, quickly."""
+    async def main():
+        _, a, b, inbox = make_pair(
+            drop_fn=drop_first(2), ack_timeout=0.02, backoff=2.0,
+            max_retries=6,
+        )
+        await start_all(a, b)
+        try:
+            start = time.monotonic()
+            msg = Message(kind="task_request", src="A", dst="B",
+                          payload={"name": "movie"}, size=512.0)
+            a.send(msg)
+            assert await wait_for(lambda: len(inbox) == 1)
+            elapsed = time.monotonic() - start
+            # Two lost attempts cost ~0.02 + 0.04 s of backoff.
+            assert elapsed < 5.0
+            await a.flush()
+            assert inbox[0] == msg
+            assert a.retransmits >= 2
+            assert a.stats.dropped == 0
+            assert b.stats.delivered == 1
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_loss_beyond_retry_budget_is_a_drop():
+    async def main():
+        _, a, b, inbox = make_pair(
+            drop_fn=drop_first(100), ack_timeout=0.01, backoff=1.5,
+            max_retries=2,
+        )
+        await start_all(a, b)
+        try:
+            a.send(Message(kind="step_done", src="A", dst="B", size=96.0))
+            await a.flush()
+            assert inbox == []
+            assert a.stats.dropped == 1
+            assert a.retransmits == 2  # budget exhausted
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_duplicate_suppression():
+    """A lost *ack* makes the sender retransmit a message the receiver
+    already has: every copy is re-acked but delivered only once."""
+    async def main():
+        directory, a, b, inbox = make_pair(ack_timeout=0.02, max_retries=4)
+        await start_all(a, b)
+        try:
+            msg = Message(kind="task_done", src="A", dst="B", size=128.0)
+            frame_addr = directory.address("B")
+            # Simulate retransmissions reaching B directly, bypassing
+            # the retry loop: hand B the same datagram three times.
+            from repro.runtime.codec import encode_message
+            data = encode_message(msg)
+            for _ in range(3):
+                b.datagram_received(data, ("127.0.0.1", 9))
+            assert frame_addr is not None
+            assert len(inbox) == 1
+            assert b.stats.delivered == 1
+            assert b.duplicates == 2
+            assert b.acks_sent == 3  # every copy re-acked
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_wall_clock_bound_under_loss():
+    """A small burst under 1-in-2 loss completes well under 5 s."""
+    async def main():
+        def lossy(msg, attempt):
+            return attempt == 0 and msg.msg_id % 2 == 0
+        _, a, b, inbox = make_pair(
+            drop_fn=lossy, ack_timeout=0.02, backoff=2.0, max_retries=5,
+        )
+        await start_all(a, b)
+        try:
+            start = time.monotonic()
+            sent = [
+                Message(kind="stream", src="A", dst="B",
+                        payload={"seq": i}, size=64.0)
+                for i in range(20)
+            ]
+            for m in sent:
+                a.send(m)
+            assert await wait_for(lambda: len(inbox) == len(sent))
+            assert time.monotonic() - start < 5.0
+            assert sorted(m.payload["seq"] for m in inbox) == list(range(20))
+            assert b.duplicates == 0  # each delivered exactly once
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_malformed_datagram_counted_not_delivered():
+    async def main():
+        _, a, b, inbox = make_pair()
+        await start_all(a, b)
+        try:
+            b.datagram_received(b"this is not a frame", ("127.0.0.1", 9))
+            b.datagram_received(b'{"v": 99, "t": "msg"}', ("127.0.0.1", 9))
+            assert inbox == []
+            assert b.malformed == 2
+            assert b.stats.delivered == 0
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_down_node_semantics():
+    async def main():
+        _, a, b, inbox = make_pair()
+        await start_all(a, b)
+        try:
+            # Destination locally down: acked (transport alive) but not
+            # delivered — mirrors the simulator's crashed-node drop.
+            b.set_down("B")
+            a.send(Message(kind="load_update", src="A", dst="B", size=256.0))
+            await a.flush()
+            assert inbox == [] and a.stats.dropped == 0
+            # Source down: dropped at the send gate, like Network.send.
+            a.set_down("A")
+            a.send(Message(kind="load_update", src="A", dst="B", size=256.0))
+            assert a.stats.dropped == 1
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_summary_parity_between_sim_and_udp():
+    """Both transports expose the same NetworkStats.summary() shape, so
+    live and simulated runs are directly comparable."""
+    env = Environment()
+    sim = SimTransport(Network(env, ConstantLatency(0.01)))
+
+    async def live_counts():
+        _, a, b, inbox = make_pair()
+        await start_all(a, b)
+        try:
+            a.send(Message(kind="load_update", src="A", dst="B", size=256.0))
+            await wait_for(lambda: len(inbox) == 1)
+            return a.summary(), b.summary()
+        finally:
+            close_all(a, b)
+
+    sender, receiver = run(live_counts())
+    sim_keys = set(sim.summary())
+    for live in (sender, receiver):
+        assert sim_keys <= set(live)  # live adds counters, drops none
+        assert {"retransmits", "duplicates", "malformed",
+                "acks_sent"} <= set(live)
+    assert {"sent", "delivered", "dropped", "bytes_sent", "by_kind",
+            "hottest_dst", "hottest_dst_count"} <= sim_keys
+    # Sender counts the send; the receiving endpoint counts delivery
+    # (in the sim one Network object plays both roles).
+    assert sender["sent"] == 1 and sender["by_kind"] == {"load_update": 1}
+    assert receiver["delivered"] == 1 and sender["dropped"] == 0
+
+
+def test_expected_delay_monotone_in_size():
+    directory = PeerDirectory()
+    t = UdpTransport("A", directory, lambda m: None,
+                     est_latency=0.001, est_bandwidth=1e6)
+    assert t.expected_delay("A", "B", 512.0) < t.expected_delay("A", "B", 2e6)
+    assert t.expected_delay("A", "B", 0.0) == pytest.approx(0.001)
+
+
+def test_message_id_reset_determinism():
+    """Message.reset_ids rewinds the auto-id counter so repeated runs
+    assign identical ids (trace comparability across in-process runs)."""
+    Message.reset_ids()
+    first = [Message(kind="stream", src="a", dst="b", size=1.0).msg_id
+             for _ in range(3)]
+    Message.reset_ids()
+    second = [Message(kind="stream", src="a", dst="b", size=1.0).msg_id
+              for _ in range(3)]
+    assert first == second == [1, 2, 3]
+    reset_message_ids(100)
+    assert Message(kind="stream", src="a", dst="b", size=1.0).msg_id == 100
+    Message.reset_ids()
