@@ -25,6 +25,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
+from repro import telemetry
 from repro.common.errors import NoFeasibleAllocation
 from repro.core import protocol
 from repro.core.allocation import AllocationResult, Allocator
@@ -913,14 +914,46 @@ class ResourceManager(Peer):
         if self.tracer is not None:
             self.tracer.record(now, "rm.takeover", rm=self.node_id,
                                domain=self.domain_id)
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.event(
+                "rm.takeover", node=self.node_id, domain=self.domain_id
+            )
 
     # ---------------------------------------------------------------- utilities
+    #: ``_emit`` events that end a task's lifecycle (close its span).
+    _TERMINAL_EVENTS = frozenset({"completed", "rejected", "failed"})
+
     def _emit(self, task: ApplicationTask, event: str) -> None:
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now, f"task.{event}", task=task.task_id,
                 rm=self.node_id,
             )
+        tel = telemetry.current()
+        if tel.enabled:
+            trace_id = f"task:{task.task_id}"
+            if event == "submitted":
+                tel.tracer.start_span(
+                    task.task_id, kind=telemetry.TASK, node=self.node_id,
+                    trace_id=trace_id, key=trace_id,
+                    origin=task.origin_peer, deadline=task.qos.deadline,
+                    importance=task.qos.importance,
+                )
+                tel.metrics.counter("tasks_submitted_total").inc()
+            elif event in self._TERMINAL_EVENTS:
+                outcome = task.outcome.value if task.outcome else None
+                tel.tracer.end_span_key(trace_id, status=event,
+                                        outcome=outcome)
+                tel.metrics.counter(
+                    "tasks_finished_total", event=event
+                ).inc()
+            else:
+                span = tel.tracer.open_span(trace_id)
+                tel.tracer.event(
+                    f"task.{event}", node=self.node_id, trace_id=trace_id,
+                    span_id=span.span_id if span else None,
+                )
         if self.on_task_event is not None:
             self.on_task_event(task, event)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
+from repro import telemetry
 from repro.core import protocol
 from repro.core.session import ComposeOrder
 from repro.media.objects import MediaObject
@@ -339,14 +340,36 @@ class Peer(NetNode):
         )
         self._task_jobs.setdefault(order.task_id, []).append(job)
         started = self.env.now
+        tel = telemetry.current()
+        span = None
+        if tel.enabled:
+            trace_id = f"task:{order.task_id}"
+            parent = tel.tracer.open_span(trace_id)
+            span = tel.tracer.start_span(
+                step.service_id, kind=telemetry.SERVICE, node=self.node_id,
+                trace_id=trace_id,
+                parent_id=parent.span_id if parent else None,
+                step_index=step_index, work=step.work, epoch=order.epoch,
+            )
         done = self.processor.submit(job)
         yield done
         jobs = self._task_jobs.get(order.task_id)
         if jobs and job in jobs:
             jobs.remove(job)
         if job.cancelled or not self.alive:
+            if span is not None:
+                tel.tracer.end_span(span, status="cancelled")
             return
         exec_time = self.env.now - started
+        if span is not None:
+            wait = (
+                job.started_at - started
+                if job.started_at is not None else 0.0
+            )
+            tel.tracer.end_span(span, status="ok", queued=wait)
+            tel.metrics.histogram(
+                "service_time_seconds", service=step.service_id
+            ).observe(exec_time)
         self.profiler.observe_service(step.service_id, exec_time, step.work)
         current = self._orders.get(order.task_id)
         if current is None or current.epoch != order.epoch:

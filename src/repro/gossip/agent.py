@@ -20,6 +20,7 @@ from typing import Any, Dict, Generator, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import protocol
 from repro.core.manager import ResourceManager
 from repro.net.message import Message
@@ -154,6 +155,13 @@ class GossipAgent:
                         size=protocol.size_of(protocol.GOSSIP_DIGEST),
                     )
                 self.rounds += 1
+                tel = telemetry.current()
+                if tel.enabled:
+                    tel.tracer.event(
+                        "gossip.round", node=rm.node_id, fanout=k,
+                        round=self.rounds,
+                    )
+                    tel.metrics.counter("gossip_rounds_total").inc()
         except Interrupt:
             return
 

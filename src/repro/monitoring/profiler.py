@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional
 
+from repro import telemetry
 from repro.common.util import EWMA
 from repro.scheduling.processor import Processor
 from repro.sim.core import Environment
@@ -221,8 +222,23 @@ class Profiler:
             while True:
                 yield self.env.timeout(self.current_period())
                 if self.report_fn is not None:
-                    self.report_fn(self.current_report())
+                    report = self.current_report()
+                    self.report_fn(report)
                     self.reports_sent += 1
+                    tel = telemetry.current()
+                    if tel.enabled:
+                        tel.tracer.event(
+                            "profiler.update", node=report.peer_id,
+                            utilization=report.utilization,
+                            load=report.load,
+                            queue_length=report.queue_length,
+                        )
+                        tel.metrics.gauge(
+                            "peer_utilization", peer=report.peer_id
+                        ).set(report.utilization)
+                        tel.metrics.counter(
+                            "profiler_reports_total"
+                        ).inc()
         except Interrupt:
             return
 

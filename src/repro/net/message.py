@@ -7,24 +7,57 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 _msg_counter = itertools.count(1)
+_trace_counter = itertools.count(1)
 
 
 def _next_id() -> int:
     return next(_msg_counter)
 
 
+def next_trace_id() -> str:
+    """A fresh correlation id for a message that starts its own trace."""
+    return f"m{next(_trace_counter)}"
+
+
 def reset_message_ids(start: int = 1) -> None:
-    """Rewind the module-global message-id counter.
+    """Rewind the module-global message-id and trace-id counters.
 
     Repeated in-process runs (experiment sweeps, notebook re-runs) share
-    this module's counter, so without a reset the *second* run's message
+    this module's counters, so without a reset the *second* run's message
     ids differ from a fresh interpreter's — breaking trace comparisons.
     Experiment setup calls this so identical configs produce identical
     ids.  Never call it mid-run: id uniqueness within one run depends on
-    the counter only moving forward.
+    the counters only moving forward.
     """
-    global _msg_counter
+    global _msg_counter, _trace_counter
     _msg_counter = itertools.count(start)
+    _trace_counter = itertools.count(start)
+
+
+def trace_id_for_payload(payload: Dict[str, Any]) -> Optional[str]:
+    """Derive the task-trace id a payload belongs to, if any.
+
+    Task-scoped messages all carry the task identity in one of three
+    conventional payload shapes: a ``task_id`` field (STEP_DONE,
+    TASK_DONE, TASK_ACK, START_STREAM, STREAM, CANCEL_TASK, QOS_UPDATE),
+    an ``order`` (COMPOSE) or a ``task`` object (TASK_REDIRECT).  All
+    three map onto the same ``task:<id>`` trace, which is how spans
+    recorded on different nodes — and across the UDP hop — correlate.
+    """
+    task_id = payload.get("task_id")
+    if isinstance(task_id, str) and task_id:
+        return f"task:{task_id}"
+    order = payload.get("order")
+    if order is not None:
+        tid = getattr(order, "task_id", None)
+        if tid:
+            return f"task:{tid}"
+    task = payload.get("task")
+    if task is not None:
+        tid = getattr(task, "task_id", None)
+        if tid:
+            return f"task:{tid}"
+    return None
 
 
 @dataclass
@@ -48,6 +81,13 @@ class Message:
         For responses: the ``msg_id`` of the request being answered.
     sent_at:
         Stamped by the network at send time (simulation seconds).
+    trace_id:
+        Causal-correlation id for telemetry: task-scoped messages carry
+        ``task:<task_id>``, replies inherit the request's id, everything
+        else gets a fresh ``m<N>`` at send time (see
+        :func:`trace_id_for_payload`).  Travels on the wire so spans
+        correlate across the UDP hop; deterministic given a
+        :func:`reset_message_ids` at run start.
     """
 
     kind: str
@@ -58,6 +98,7 @@ class Message:
     msg_id: int = field(default_factory=_next_id)
     reply_to: Optional[int] = None
     sent_at: float = 0.0
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -71,6 +112,19 @@ class Message:
     def is_reply(self) -> bool:
         """True if this message answers an earlier request."""
         return self.reply_to is not None
+
+    def ensure_trace_id(self) -> str:
+        """Assign (if still unset) and return this message's trace id.
+
+        Called by every transport at the send chokepoint: payload-derived
+        task correlation wins, otherwise the message starts a trace of
+        its own.
+        """
+        if self.trace_id is None:
+            self.trace_id = (
+                trace_id_for_payload(self.payload) or next_trace_id()
+            )
+        return self.trace_id
 
     def __repr__(self) -> str:
         return (

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.common.errors import UnknownPeer
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
@@ -28,6 +29,13 @@ class NetworkStats:
     #: Messages addressed to each node (hot-spot analysis, e.g. how much
     #: traffic a centralized manager terminates).
     by_dst: Dict[str, int] = field(default_factory=dict)
+    #: Reliability counters.  Only the UDP transport moves them (the
+    #: simulated fabric has no retransmission), but they live here so
+    #: every transport reports one summary schema.
+    retransmits: int = 0
+    duplicates: int = 0
+    malformed: int = 0
+    acks_sent: int = 0
 
     def note_send(self, msg: Message) -> None:
         self.sent += 1
@@ -55,6 +63,10 @@ class NetworkStats:
             "by_kind": dict(self.by_kind),
             "hottest_dst": hot,
             "hottest_dst_count": hot_n,
+            "retransmits": self.retransmits,
+            "duplicates": self.duplicates,
+            "malformed": self.malformed,
+            "acks_sent": self.acks_sent,
         }
 
 
@@ -154,14 +166,26 @@ class Network:
         when it "senses the withdrawn connection".
         """
         msg.sent_at = self.env.now
+        msg.ensure_trace_id()
         self.stats.note_send(msg)
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now, "net.send", msg_kind=msg.kind, src=msg.src,
                 dst=msg.dst, size=msg.size,
             )
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.start_span(
+                msg.kind, kind=telemetry.MESSAGE, node=msg.src,
+                trace_id=msg.trace_id, key=f"msg:{msg.msg_id}",
+                dst=msg.dst, msg_id=msg.msg_id, size=msg.size,
+            )
+            tel.metrics.counter("net_messages_sent_total").inc()
+            tel.metrics.counter("message_bytes_total", kind=msg.kind).inc(
+                msg.size
+            )
         if not self.is_up(msg.src) or not self.is_up(msg.dst):
-            self.stats.dropped += 1
+            self._drop(msg)
             return
         if self.loss_rate > 0.0:
             if self._loss_rng is None:
@@ -169,7 +193,7 @@ class Network:
 
                 self._loss_rng = np.random.default_rng(0)
             if self._loss_rng.random() < self.loss_rate:
-                self.stats.dropped += 1
+                self._drop(msg)
                 return
         delay = self.latency.sample(msg.src, msg.dst) + msg.size / self.bandwidth
         key = (msg.src, msg.dst)
@@ -181,10 +205,17 @@ class Network:
         ev._value = None
         self.env.schedule(ev, delay=arrival - self.env.now)
 
+    def _drop(self, msg: Message) -> None:
+        self.stats.dropped += 1
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="dropped")
+            tel.metrics.counter("net_messages_dropped_total").inc()
+
     def _deliver(self, msg: Message) -> None:
         # The destination may have failed while the message was in flight.
         if not self.is_up(msg.dst):
-            self.stats.dropped += 1
+            self._drop(msg)
             return
         self.stats.delivered += 1
         if self.tracer is not None:
@@ -192,6 +223,10 @@ class Network:
                 self.env.now, "net.deliver", msg_kind=msg.kind, src=msg.src,
                 dst=msg.dst,
             )
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="ok")
+            tel.metrics.counter("net_messages_delivered_total").inc()
         self._nodes[msg.dst].mailbox.put(msg)
 
     def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:

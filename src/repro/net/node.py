@@ -5,7 +5,7 @@ from __future__ import annotations
 import inspect
 from typing import Any, Callable, Dict, Generator, Optional
 
-from repro.net.message import Message
+from repro.net.message import Message, trace_id_for_payload
 from repro.net.network import Network
 from repro.sim.core import Environment
 from repro.sim.events import Event, Interrupt, Process
@@ -108,8 +108,14 @@ class NetNode:
         payload: Optional[Dict[str, Any]] = None,
         size: float = 512.0,
         reply_to: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> Message:
-        """Fire-and-forget send; returns the sent message."""
+        """Fire-and-forget send; returns the sent message.
+
+        When *trace_id* is omitted the network derives one at send time
+        (task-scoped payloads join their ``task:<id>`` trace, anything
+        else starts a fresh trace).
+        """
         msg = Message(
             kind=kind,
             src=self.node_id,
@@ -117,6 +123,7 @@ class NetNode:
             payload=payload or {},
             size=size,
             reply_to=reply_to,
+            trace_id=trace_id,
         )
         self.network.send(msg)
         return msg
@@ -128,8 +135,19 @@ class NetNode:
         payload: Optional[Dict[str, Any]] = None,
         size: float = 512.0,
     ) -> Message:
-        """Answer an incoming request message."""
-        return self.send(kind, to.src, payload, size=size, reply_to=to.msg_id)
+        """Answer an incoming request message.
+
+        The reply joins the request's trace unless its own payload is
+        task-scoped (then the task trace wins, keeping task messages in
+        one causal chain even when the request was not).
+        """
+        trace_id = to.trace_id
+        if payload:
+            trace_id = trace_id_for_payload(payload) or trace_id
+        return self.send(
+            kind, to.src, payload, size=size, reply_to=to.msg_id,
+            trace_id=trace_id,
+        )
 
     def rpc(
         self,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Optional
 
+from repro import telemetry
 from repro.core import protocol
 from repro.core.manager import ResourceManager
 from repro.net.message import Message
@@ -109,6 +110,13 @@ class FailoverAgent:
         self.took_over = True
         self.takeover_time = self.backup.env.now
         old_rm_id = self.primary.node_id
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.event(
+                "failover.takeover", node=self.backup.node_id,
+                old_rm=old_rm_id,
+            )
+            tel.metrics.counter("rm_takeovers_total").inc()
         if self.last_snapshot is not None:
             self.backup.restore_state(self.last_snapshot)
         self.backup.activate()

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro import telemetry
 from repro.core import protocol
 from repro.net.message import Message
 from repro.overlay.qualification import QualificationPolicy
@@ -119,6 +120,12 @@ class BootstrapServer:
             self.rm_id = max(
                 candidates, key=lambda c: (c[1] * c[2] * c[3], c[0])
             )[0]
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.event(
+                "rm.elected", node=self.node_id, rm=self.rm_id,
+                members=len(self.members),
+            )
         for pid in self.members:
             self._ack(pid, role="rm" if pid == self.rm_id else "peer")
 

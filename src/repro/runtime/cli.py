@@ -19,7 +19,9 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro import telemetry
 from repro.runtime.cluster import LiveCluster, LiveClusterConfig
+from repro.telemetry.logs import configure_logging
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a telemetry trace (spans/events/metrics) to a JSONL "
+        "file; analyse it with repro-trace",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL",
+        help="enable structured per-node logging at LEVEL "
+        "(e.g. INFO, DEBUG; off by default)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="with --log-level: one JSON object per log line",
     )
     return parser
 
@@ -125,14 +141,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--peers must be at least 1 (an RM needs a domain)")
     if args.origin == "P4" and args.peers < 4:
         args.origin = "P1"
+    if args.log_level:
+        configure_logging(args.log_level, json_lines=args.log_json)
+    tel = None
+    if args.trace:
+        tel = telemetry.activate(telemetry.Telemetry.wall())
+    report: Optional[Dict[str, Any]] = None
     try:
-        report = asyncio.run(run_live(args))
-    except (asyncio.TimeoutError, TimeoutError):
-        print("error: live run timed out", file=sys.stderr)
-        return 1
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        try:
+            report = asyncio.run(run_live(args))
+        except (asyncio.TimeoutError, TimeoutError):
+            print("error: live run timed out", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if tel is not None:
+            tel.tracer.finish_open()
+            meta: Dict[str, Any] = {"runtime": "live"}
+            if report is not None:
+                meta["aggregate"] = report["aggregate"]
+            telemetry.export.write_jsonl(
+                args.trace, tel.tracer, tel.metrics, meta=meta
+            )
+            telemetry.deactivate()
+            print(f"telemetry trace -> {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2, default=str))
     else:

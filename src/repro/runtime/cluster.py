@@ -237,12 +237,15 @@ class LiveCluster:
         total: Dict[str, Any] = {
             "sent": 0, "delivered": 0, "dropped": 0, "bytes_sent": 0.0,
             "by_kind": {},
+            "retransmits": 0, "duplicates": 0, "malformed": 0,
+            "acks_sent": 0,
         }
         for s in self.summaries().values():
-            total["sent"] += s["sent"]
-            total["delivered"] += s["delivered"]
-            total["dropped"] += s["dropped"]
-            total["bytes_sent"] += s["bytes_sent"]
+            for key in (
+                "sent", "delivered", "dropped", "bytes_sent",
+                "retransmits", "duplicates", "malformed", "acks_sent",
+            ):
+                total[key] += s.get(key, 0)
             for kind, n in s["by_kind"].items():
                 total["by_kind"][kind] = total["by_kind"].get(kind, 0) + n
         return total

@@ -250,6 +250,7 @@ def message_to_wire(msg: Message) -> Dict[str, Any]:
         "msg_id": msg.msg_id,
         "reply_to": msg.reply_to,
         "sent_at": msg.sent_at,
+        "trace_id": msg.trace_id,
     }
 
 
@@ -281,6 +282,11 @@ def message_from_wire(body: Any) -> Message:
         raise WireFormatError(f"size must be a number, got {size!r}")
     if not isinstance(sent_at, (int, float)) or isinstance(sent_at, bool):
         raise WireFormatError(f"sent_at must be a number, got {sent_at!r}")
+    # Optional, absent from frames produced by older encoders — the
+    # envelope version stays at 1 because decoding tolerates both.
+    trace_id = body.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise WireFormatError(f"trace_id must be a string, got {trace_id!r}")
     decoded = _dec(payload)
     if not isinstance(decoded, dict):
         raise WireFormatError("payload must decode to a dict")
@@ -288,6 +294,7 @@ def message_from_wire(body: Any) -> Message:
         return Message(
             kind=kind, src=src, dst=dst, payload=decoded, size=float(size),
             msg_id=msg_id, reply_to=reply_to, sent_at=float(sent_at),
+            trace_id=trace_id,
         )
     except ValueError as exc:  # e.g. non-positive size
         raise WireFormatError(str(exc)) from exc

@@ -33,6 +33,7 @@ from repro.net.message import Message
 from repro.sim.core import Environment
 from repro.sim.events import Event
 from repro.runtime.transport import PeerDirectory, UdpTransport
+from repro.telemetry.logs import get_logger
 
 
 class SimClockPump:
@@ -199,11 +200,16 @@ class LiveNode:
         self._joined = asyncio.Event()
         self._join_payload: Optional[Dict[str, Any]] = None
         self._pump_task: Optional[asyncio.Task] = None
+        self.log = get_logger("runtime.node", spec.node_id)
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "LiveNode":
         """Bind, pump, register, and assume the assigned role."""
         await self.transport.start()
+        self.log.info(
+            "bound %s:%s, joining via %s",
+            self.transport.host, self.transport.port, self.bootstrap_id,
+        )
         self._pump_task = asyncio.get_running_loop().create_task(
             self.pump.run(), name=f"pump:{self.node_id}"
         )
@@ -245,6 +251,7 @@ class LiveNode:
 
     async def stop(self) -> None:
         """Tear the node down (no departure protocol — a crash)."""
+        self.log.info("stopping")
         self.pump.stop()
         if self._pump_task is not None:
             self._pump_task.cancel()
@@ -301,6 +308,10 @@ class LiveNode:
         for edge in self.spec.service_edges:
             node.host_service(edge["service_id"], edge)
         self.node = node
+        self.log.info(
+            "assumed role %s (rm=%s domain=%s)",
+            self.role, self.rm_id, self.domain_id,
+        )
         self.pump.kick()
 
     def _rm_admit(self, rm: ResourceManager, rec: Dict[str, Any]) -> None:

@@ -24,6 +24,7 @@ import asyncio
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
 
+from repro import telemetry
 from repro.net.message import Message
 from repro.net.network import Network, NetworkStats
 from repro.runtime.codec import (
@@ -218,11 +219,6 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         self.est_bandwidth = est_bandwidth
         self.drop_fn = drop_fn
         self.stats = NetworkStats()
-        #: Extra live-only counters (beyond the shared NetworkStats).
-        self.retransmits = 0
-        self.duplicates = 0
-        self.malformed = 0
-        self.acks_sent = 0
         self._node: Optional["NetNode"] = None
         self._down: Set[str] = set()
         self._seen: OrderedDict[Tuple[str, int], None] = OrderedDict()
@@ -232,6 +228,25 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         self._sock: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
+
+    # -- reliability counters (live in the shared NetworkStats so sim and
+    # live summaries share one schema; kept as properties for callers
+    # that read them off the transport directly) ---------------------------
+    @property
+    def retransmits(self) -> int:
+        return self.stats.retransmits
+
+    @property
+    def duplicates(self) -> int:
+        return self.stats.duplicates
+
+    @property
+    def malformed(self) -> int:
+        return self.stats.malformed
+
+    @property
+    def acks_sent(self) -> int:
+        return self.stats.acks_sent
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "UdpTransport":
@@ -293,22 +308,48 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
 
     def send(self, msg: Message) -> None:
         """Queue *msg* for reliable transmission (fire-and-forget API)."""
+        msg.ensure_trace_id()
         self.stats.note_send(msg)
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.start_span(
+                msg.kind, kind=telemetry.MESSAGE, node=msg.src,
+                trace_id=msg.trace_id, key=f"msg:{msg.msg_id}",
+                dst=msg.dst, msg_id=msg.msg_id, size=msg.size,
+            )
+            tel.metrics.counter("net_messages_sent_total").inc()
+            tel.metrics.counter("message_bytes_total", kind=msg.kind).inc(
+                msg.size
+            )
         if self._closed or not self.is_up(msg.src):
-            self.stats.dropped += 1
+            self._note_dropped(msg)
             return
         if msg.dst == self.node_id:
             # Loopback: no socket hop, but same delivery path.
-            self.stats.delivered += 1
+            self._note_delivered(msg)
             self.on_message(msg)
             return
         if msg.dst not in self.directory:
-            self.stats.dropped += 1
+            self._note_dropped(msg)
             return
         assert self._loop is not None, "transport not started"
         task = self._loop.create_task(self._send_reliable(msg))
         self._send_tasks.add(task)
         task.add_done_callback(self._send_tasks.discard)
+
+    def _note_dropped(self, msg: Message) -> None:
+        self.stats.dropped += 1
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="dropped")
+            tel.metrics.counter("net_messages_dropped_total").inc()
+
+    def _note_delivered(self, msg: Message) -> None:
+        self.stats.delivered += 1
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="ok")
+            tel.metrics.counter("net_messages_delivered_total").inc()
 
     # -- reliability -------------------------------------------------------
     async def _send_reliable(self, msg: Message) -> None:
@@ -324,7 +365,10 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
                 if addr is None:
                     break
                 if attempt > 0:
-                    self.retransmits += 1
+                    self.stats.retransmits += 1
+                    tel = telemetry.current()
+                    if tel.enabled:
+                        tel.metrics.counter("udp_retransmits_total").inc()
                 lost = self.drop_fn is not None and self.drop_fn(msg, attempt)
                 if not lost and self._sock is not None:
                     self._sock.sendto(frame, addr)
@@ -337,14 +381,17 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         finally:
             self._pending_acks.pop(key, None)
             if not acked:
-                self.stats.dropped += 1
+                self._note_dropped(msg)
 
     # -- DatagramProtocol --------------------------------------------------
     def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        tel = telemetry.current()
         try:
             frame = decode_frame(data)
         except WireFormatError:
-            self.malformed += 1
+            self.stats.malformed += 1
+            if tel.enabled:
+                tel.metrics.counter("udp_malformed_total").inc()
             return
         if frame["t"] == FRAME_ACK:
             waiter = self._pending_acks.get((frame["src"], frame["id"]))
@@ -355,31 +402,25 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         # Ack every copy: the previous ack may have been the lost packet.
         if self._sock is not None and not self._closed:
             self._sock.sendto(encode_ack(self.node_id, msg.msg_id), addr)
-            self.acks_sent += 1
+            self.stats.acks_sent += 1
+            if tel.enabled:
+                tel.metrics.counter("udp_acks_sent_total").inc()
         if self.node_id in self._down or self._closed:
             return  # locally "crashed": receive nothing
         key = (msg.src, msg.msg_id)
         if key in self._seen:
-            self.duplicates += 1
+            self.stats.duplicates += 1
+            if tel.enabled:
+                tel.metrics.counter("udp_duplicates_total").inc()
             return
         self._seen[key] = None
         if len(self._seen) > self._dedup_capacity:
             self._seen.popitem(last=False)
-        self.stats.delivered += 1
+        self._note_delivered(msg)
         self.on_message(msg)
 
     def error_received(self, exc: Exception) -> None:  # pragma: no cover
         pass  # ICMP errors: treat like loss; retries cover it
-
-    def summary(self) -> Dict[str, Any]:
-        out = self.stats.summary()
-        out.update(
-            retransmits=self.retransmits,
-            duplicates=self.duplicates,
-            malformed=self.malformed,
-            acks_sent=self.acks_sent,
-        )
-        return out
 
     def __repr__(self) -> str:
         return (

@@ -15,8 +15,10 @@ Accounting maintained for the Profiler:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Generator, List, Optional
 
+from repro import telemetry
 from repro.scheduling.job import Job
 from repro.scheduling.policies import SchedulingPolicy
 from repro.sim.core import Environment
@@ -99,6 +101,11 @@ class Processor:
             self.tracer.record(
                 self.env.now, "cpu.submit", peer=self.peer_id,
                 job=job.job_id, task=job.task_id, work=job.work,
+            )
+        tel = telemetry.current()
+        if tel.enabled:
+            tel.metrics.gauge("lls_queue_depth", peer=self.peer_id).set(
+                self.queue_length
             )
         self._kick()
         return job.done
@@ -205,6 +212,13 @@ class Processor:
                 self.running = job
                 if job.started_at is None:
                     job.started_at = env.now
+                    tel = telemetry.current()
+                    if tel.enabled and math.isfinite(job.abs_deadline):
+                        # Slack the job still has when it first reaches the
+                        # CPU — the quantity LLS schedules on.
+                        tel.metrics.histogram(
+                            "dispatch_laxity_seconds"
+                        ).observe(job.laxity(env.now, self.power))
                 else:
                     job.preemptions += 1
 
@@ -244,6 +258,14 @@ class Processor:
                             job=job.job_id, task=job.task_id,
                             met=job.met_deadline,
                         )
+                    tel = telemetry.current()
+                    if tel.enabled:
+                        tel.metrics.counter("jobs_completed_total").inc()
+                        if not job.met_deadline:
+                            tel.metrics.counter("jobs_missed_total").inc()
+                        tel.metrics.gauge(
+                            "lls_queue_depth", peer=self.peer_id
+                        ).set(self.queue_length)
                     if job.done is not None:
                         job.done.succeed(job)
                 else:

@@ -1,0 +1,64 @@
+"""``repro-trace`` — analyse a telemetry JSONL trace file.
+
+::
+
+    repro-trace out.jsonl              # per-task critical paths + summaries
+    repro-trace out.jsonl --verbose    # also list per-task message spans
+    repro-trace out.jsonl --json       # machine-readable report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.analyze import format_report, report_dict
+from repro.telemetry.export import read_jsonl
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Print per-task critical paths, per-kind message counts, and "
+            "retry/loss summaries from a telemetry trace (JSONL) produced "
+            "by repro-live --trace or repro-run --trace."
+        ),
+    )
+    parser.add_argument("trace", help="trace file (JSONL)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also list each task's message spans",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        data = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(report_dict(data), indent=2, default=str))
+        else:
+            print(format_report(data, verbose=args.verbose))
+    except BrokenPipeError:  # e.g. ``repro-trace out.jsonl | head``
+        sys.stderr.close()  # suppress the interpreter's flush warning
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Pluggable clock sources behind the telemetry timestamps.
+
+The same instrumentation call sites run in two worlds: the discrete-event
+simulator (timestamps are simulation seconds) and the live UDP runtime
+(timestamps are wall-clock seconds since telemetry activation).  A
+:class:`ClockSource` hides the difference; every span and event records
+which clock stamped it, so analysis tools never mix the two scales.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class ClockSource(Protocol):
+    """Anything with a monotone ``now()`` and a scale ``label``."""
+
+    #: ``"sim"`` or ``"wall"`` — written into exported traces.
+    label: str
+
+    def now(self) -> float:
+        """Current time on this clock's scale (seconds)."""
+        ...  # pragma: no cover
+
+
+class SimClock:
+    """Reads simulation time from an :class:`~repro.sim.core.Environment`.
+
+    Duck-typed on ``env.now`` so the telemetry package never imports the
+    simulator (no circular dependency: the sim imports telemetry).
+    """
+
+    label = "sim"
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def now(self) -> float:
+        return self.env.now
+
+
+class WallClock:
+    """Monotonic wall-clock seconds since construction.
+
+    Relative (not epoch) time keeps live traces directly comparable to
+    simulator traces, which also start at zero.
+    """
+
+    label = "wall"
+
+    def __init__(self) -> None:
+        self._anchor = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._anchor
+
+
+class NullClock:
+    """The no-op telemetry clock: always zero, never consulted."""
+
+    label = "null"
+
+    def now(self) -> float:
+        return 0.0

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro import telemetry
 from repro.common.util import fmt_table
 from repro.reporting.ascii import sparkline
 from repro.workloads.configio import config_to_json, load_config
@@ -46,6 +47,11 @@ def main(argv: list[str] | None = None) -> int:
         help="record generated requests to a CSV trace",
     )
     parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a telemetry trace (spans/events/metrics) to a JSONL "
+        "file; analyse it with repro-trace",
+    )
+    parser.add_argument(
         "--print-default-config", action="store_true",
         help="emit the default ScenarioConfig as JSON and exit",
     )
@@ -71,7 +77,24 @@ def main(argv: list[str] | None = None) -> int:
         f"{scenario.overlay.n_domains} domains; "
         f"policy={cfg.allocation_policy}; seed={cfg.seed}"
     )
-    summary = scenario.run(duration=args.duration, drain=args.drain)
+    tel = None
+    if args.trace:
+        tel = telemetry.activate(telemetry.Telemetry.sim(scenario.env))
+    try:
+        summary = scenario.run(duration=args.duration, drain=args.drain)
+    finally:
+        if tel is not None:
+            tel.tracer.finish_open()
+            telemetry.export.write_jsonl(
+                args.trace, tel.tracer, tel.metrics,
+                meta={
+                    "runtime": "sim",
+                    "seed": cfg.seed,
+                    "aggregate": scenario.network.stats.summary(),
+                },
+            )
+            telemetry.deactivate()
+            print(f"telemetry trace -> {args.trace}")
 
     rows = [[k, v if not isinstance(v, float) else f"{v:.3f}"]
             for k, v in summary.row().items()]
