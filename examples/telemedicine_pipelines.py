@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.common.util import fmt_table
 from repro.core.manager import RMConfig
-from repro.metrics import MetricsCollector
+from repro.results import MetricsCollector
 from repro.net import DomainAwareLatency, Network
 from repro.overlay import OverlayNetwork
 from repro.pipelines import DataForm, PipelineCatalog, SensorRecording

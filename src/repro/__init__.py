@@ -26,9 +26,12 @@ Package map
 ``repro.gossip``      inter-domain gossip of summaries
 ``repro.overlay``     domains, join protocol, churn, RM failover
 ``repro.core``        the paper's contribution: RM, allocation, fairness
+``repro.core.control`` the RM control plane: admission, placement,
+                      task registry, repair
 ``repro.baselines``   comparison allocation policies
 ``repro.workloads``   populations, arrivals, one-call scenarios
-``repro.metrics``     run summaries and time series
+``repro.results``     run summaries and time series (né ``repro.metrics``)
+``repro.telemetry``   tracing + runtime metrics registry
 ``repro.experiments`` the reproduced evaluation (F1-F3, E1-E10)
 """
 

@@ -62,14 +62,16 @@ class RoundRobinSelector:
         return winner
 
 
-_NAMES = ("fairness", "first", "random", "least_loaded", "round_robin")
+_NAMES = (
+    "paper", "fairness", "first", "random", "least_loaded", "round_robin"
+)
 
 
 def make_selector(
     name: str, rng: Optional[np.random.Generator] = None
 ) -> Selector:
-    """Build a selector by table name."""
-    if name == "fairness":
+    """Build a selector by table name (``paper`` aliases ``fairness``)."""
+    if name in ("fairness", "paper"):
         return select_max_fairness
     if name == "first":
         return select_first

@@ -88,6 +88,9 @@ class DomainInfoBase:
         self._projections: Dict[str, List[_Projection]] = {}
         #: Summaries received from other domains: domain_id -> summary.
         self.remote_summaries: Dict[str, Any] = {}
+        #: When each remote summary's content was last received/refreshed
+        #: (gossip receipt time), for redirect staleness bounds.
+        self.summary_received_at: Dict[str, float] = {}
 
     # -- roster -------------------------------------------------------------
     def add_peer(self, record: PeerRecord) -> None:
@@ -221,6 +224,23 @@ class DomainInfoBase:
         )
         rec.services.add(service_id)
         return edge
+
+    def note_summary(self, rm_id: str, summary: Any, now: float) -> None:
+        """Store a remote domain's summary, stamping its receipt time."""
+        self.remote_summaries[rm_id] = summary
+        self.summary_received_at[rm_id] = now
+
+    def summary_age(self, rm_id: str, now: float) -> float:
+        """Age of the held summary from *rm_id* (0 if never stamped).
+
+        Summaries installed without a receipt stamp (hand-wired tests,
+        restored snapshots from older peers) count as fresh — staleness
+        bounds only ever *narrow* behavior where gossip is live.
+        """
+        received = self.summary_received_at.get(rm_id)
+        if received is None:
+            return 0.0
+        return now - received
 
     def staleness(self, peer_id: str, now: float) -> float:
         """Age of the newest report from *peer_id* (inf before the first)."""

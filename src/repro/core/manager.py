@@ -1,38 +1,30 @@
-"""The domain Resource Manager (paper §2, §4).
+"""The domain Resource Manager shell (paper §2, §4).
 
 An RM is itself a peer ("Resource Managers are selected among regular
-peers") that additionally:
-
-* maintains the domain information base (§3.1) from load updates,
-* admits tasks: runs the Fig-3 allocation, sends graph-composition
-  messages, launches the streaming session (Fig. 2),
-* redirects tasks it cannot admit to other domains, using the gossiped
-  Bloom summaries to pick a domain that has the object (§4.5),
-* senses withdrawn connections (a peer silent for several update
-  periods is declared dead), prunes the resource graph, and *repairs*
-  the service graphs of interrupted tasks by re-running the allocation
-  from the state the data had reached (§4.1),
-* optionally *reassigns* running tasks when the domain overloads
-  (§4.5), and
-* replicates its state to a backup RM for failover (§4.1; driven by
-  :mod:`repro.overlay.failover`).
+peers").  It is a thin message-routing shell: protocol handlers and
+periodic loops live here, while the duties are delegated to four
+composable components under :mod:`repro.core.control` —
+:class:`AdmissionController`, :class:`PlacementEngine` (with a named,
+pluggable :class:`PlacementPolicy`), :class:`TaskRegistry`, and
+:class:`RepairCoordinator`.  See ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Union
 
-from repro import telemetry
-from repro.common.errors import NoFeasibleAllocation
 from repro.core import protocol
-from repro.core.allocation import AllocationResult, Allocator
+from repro.core.allocation import Allocator
+from repro.core.control.admission import AdmissionController
+from repro.core.control.events import emit_task_event
+from repro.core.control.placement import PlacementEngine, PlacementPolicy
+from repro.core.control.registry import TaskRegistry
+from repro.core.control.repair import RepairCoordinator
 from repro.core.info_base import DomainInfoBase, PeerRecord
 from repro.core.peer import Peer, PeerConfig
-from repro.core.session import ComposeOrder, SessionState
-from repro.graphs.service_graph import ServiceGraph
+from repro.core.session import SessionState
 from repro.media.objects import MediaObject
 from repro.monitoring.profiler import LoadReport
 from repro.net.message import Message
@@ -43,9 +35,7 @@ from repro.sim.trace import Tracer
 from repro.tasks.qos import QoSRequirements
 from repro.tasks.task import ApplicationTask, TaskState
 
-#: Callback signature for task lifecycle events:
-#: (task, event) with event in {"submitted", "admitted", "redirected",
-#: "rejected", "completed", "failed", "repaired", "reassigned"}.
+#: Task lifecycle callback: (task, event), e.g. "submitted"/"completed".
 TaskEventFn = Callable[[ApplicationTask, str], None]
 
 
@@ -63,6 +53,14 @@ class RMConfig:
     task_loss_grace: float = 10.0
     #: Maximum inter-domain redirects per task.
     max_redirects: int = 3
+    #: Placement policy name — ``paper`` (fairness maximization), or any
+    #: name registered in :mod:`repro.core.control.placement`.  Applies
+    #: when the RM is built without an explicit allocator/policy.
+    placement_policy: str = "paper"
+    #: Distrust a gossiped domain summary older than this many seconds
+    #: when picking a redirect target (demote to fallback).  ``None``
+    #: (default) trusts any cached summary, the paper behavior.
+    redirect_summary_max_age: Optional[float] = None
     #: Enable adaptive reassignment of running tasks under overload.
     enable_reassignment: bool = True
     #: Reassignment check period (seconds).
@@ -73,13 +71,10 @@ class RMConfig:
     reassign_min_gain: float = 0.05
     #: Enable service-graph repair after peer failures.
     enable_repair: bool = True
-    #: Importance-aware admission (§3.3's Importance_t, "traded-off"):
-    #: when the domain is loaded beyond ``importance_admission_util``,
-    #: tasks less important than the running average are admitted under
-    #: a *stricter* capacity cap (``low_importance_cap`` x the normal
-    #: max utilization) — reserving the last slice of capacity for
-    #: important work instead of rejecting outright.  Off by default
-    #: (the base paper policy admits on feasibility alone).
+    #: Importance-aware admission (§3.3): beyond
+    #: ``importance_admission_util`` load, below-average-importance tasks
+    #: face a stricter cap (``low_importance_cap`` x max utilization).
+    #: Off by default (the paper admits on feasibility alone).
     importance_admission: bool = False
     importance_admission_util: float = 0.75
     low_importance_cap: float = 0.7
@@ -100,22 +95,13 @@ class RMConfig:
 class ResourceManager(Peer):
     """A domain leader: admission, allocation, adaptation.
 
-    Parameters
-    ----------
-    env, network, peer_id:
-        As for :class:`Peer`.
-    domain_id:
-        The domain this RM leads.
-    allocator:
-        The allocation algorithm (policy under experiment).
-    rm_config / peer_config:
-        Tunables.
-    active:
-        ``False`` builds a *passive* backup: handlers installed and
-        state received via RM_SYNC, but no admission or monitoring until
-        :meth:`activate` (failover).
-    on_task_event:
-        Metrics hook.
+    When ``allocator`` is supplied its configured selector *is* the
+    placement policy (unless ``policy`` — an instance or registry name —
+    is also given), so pre-built allocators keep byte-identical
+    behavior; otherwise ``rm_config.placement_policy`` decides.
+    ``active=False`` builds a passive backup: handlers installed and
+    state received via RM_SYNC, but no admission or monitoring until
+    :meth:`activate` (failover).
     """
 
     def __init__(
@@ -130,6 +116,7 @@ class ResourceManager(Peer):
         active: bool = True,
         on_task_event: Optional[TaskEventFn] = None,
         tracer: Optional[Tracer] = None,
+        policy: Optional[Union[PlacementPolicy, str]] = None,
     ) -> None:
         super().__init__(
             env, network, peer_id, config=peer_config, rm_id=peer_id,
@@ -137,26 +124,29 @@ class ResourceManager(Peer):
         )
         self.domain_id = domain_id
         self.rm_config = rm_config or RMConfig()
-        self.allocator = allocator or Allocator()
         self.on_task_event = on_task_event
         self.info = DomainInfoBase(domain_id, peer_id)
         #: Media objects known in the domain, by name.
         self.object_catalog: Dict[str, MediaObject] = {}
-        #: All tasks this RM has seen, by id.
-        self.tasks: Dict[str, ApplicationTask] = {}
-        #: Running sessions by task id.
-        self.sessions: Dict[str, SessionState] = {}
         #: Last time each member peer was heard from (update/heartbeat).
         self.last_seen: Dict[str, float] = {}
         #: Other known RMs: rm peer id -> domain id.
         self.known_rms: Dict[str, str] = {}
         self.backup_id: Optional[str] = None
         self.active = active
-        self.stats: Dict[str, int] = {
-            "admitted": 0, "rejected": 0, "redirected_out": 0,
-            "redirected_in": 0, "completed": 0, "missed": 0,
-            "failed": 0, "repairs": 0, "reassignments": 0,
-        }
+        self.stats: Dict[str, int] = {k: 0 for k in (
+            "admitted", "rejected", "redirected_out", "redirected_in",
+            "completed", "missed", "failed", "repairs", "reassignments",
+        )}
+
+        # The control plane: placement, admission, registry, repair.
+        self.placement = PlacementEngine(
+            self, allocator=allocator, policy=policy,
+            default_policy=self.rm_config.placement_policy,
+        )
+        self.registry = TaskRegistry(self)
+        self.admission = AdmissionController(self, self.placement)
+        self.repair = RepairCoordinator(self, self.placement)
 
         self.on(protocol.LOAD_UPDATE, self._handle_load_update)
         self.on(protocol.TASK_REQUEST, self._handle_task_request)
@@ -171,6 +161,23 @@ class ResourceManager(Peer):
         if active:
             self._start_loops()
 
+    # ------------------------------------ state views (control-plane owned)
+    @property
+    def tasks(self) -> Dict[str, ApplicationTask]:
+        return self.registry.tasks
+
+    @property
+    def sessions(self) -> Dict[str, SessionState]:
+        return self.registry.sessions
+
+    @property
+    def allocator(self) -> Allocator:
+        return self.placement.allocator
+
+    @property
+    def policy_name(self) -> str:
+        return self.placement.policy.name
+
     # ------------------------------------------------------------------ setup
     def _start_loops(self) -> None:
         self._monitor_proc = self.env.process(
@@ -181,14 +188,22 @@ class ResourceManager(Peer):
                 self._reassign_loop(), name=f"rm-reassign:{self.node_id}"
             )
 
+    def fail(self) -> None:
+        """Crash: a dead RM stops monitoring/reassigning entirely."""
+        for proc in (self._monitor_proc, self._reassign_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("fail")
+        self.active = False
+        super().fail()
+
     def _send_load_update(self, report: LoadReport) -> None:
+        # An active RM is its own manager: fold the report in directly.
+        # A passive backup reports to the primary like any member.
         if self.rm_id == self.node_id:
-            # An active RM is its own manager: fold the report in directly.
             if self.active and self.info.has_peer(self.node_id):
                 self.info.update_from_report(report)
                 self.last_seen[self.node_id] = self.env.now
         else:
-            # A passive backup reports to the primary like any member.
             super()._send_load_update(report)
 
     # -------------------------------------------------------------- membership
@@ -234,12 +249,11 @@ class ResourceManager(Peer):
             ),
             initial_state=None,  # resolved from the object catalog
             goal_state=p["goal_state"],
-            origin_peer=p.get("origin", msg.src),
-            submitted_at=self.env.now,
+            origin_peer=p.get("origin", msg.src), submitted_at=self.env.now,
         )
-        self.tasks[task.task_id] = task
+        self.registry.register(task)
         self._emit(task, "submitted")
-        disposition = self._admit(task)
+        disposition = self.admission.admit(task)
         self.reply(
             msg, protocol.TASK_ACK,
             {"task_id": task.task_id, "disposition": disposition},
@@ -251,12 +265,12 @@ class ResourceManager(Peer):
             return
         task: ApplicationTask = msg.payload["task"]
         self.stats["redirected_in"] += 1
-        self.tasks[task.task_id] = task
-        self._admit(task)
+        self.registry.register(task)
+        self.admission.admit(task)
 
     def _handle_step_done(self, msg: Message) -> None:
         p = msg.payload
-        session = self.sessions.get(p["task_id"])
+        session = self.registry.session(p["task_id"])
         if session is None or p.get("epoch", 0) != session.epoch:
             return
         session.note_step_done(p["step_index"], p["peer_id"])
@@ -270,160 +284,24 @@ class ResourceManager(Peer):
 
     def _handle_task_done(self, msg: Message) -> None:
         p = msg.payload
-        task = self.tasks.get(p["task_id"])
+        task = self.registry.get(p["task_id"])
         if task is None or task.state in (TaskState.DONE, TaskState.FAILED):
             return
-        task.mark_done(p["completed_at"])
-        self._cleanup_task(task.task_id)
-        self.stats["completed"] += 1
-        if task.outcome is not None and task.outcome.value == "missed":
-            self.stats["missed"] += 1
-        self._emit(task, "completed")
+        self.registry.complete(task, p["completed_at"])
 
     def _handle_qos_update(self, msg: Message) -> None:
-        """§4.5: a user changed a running task's QoS requirements.
-
-        Only the submitting peer may change a task's QoS.  The new
-        deadline is propagated to the session participants via a
-        refreshed compose order (same epoch: peers adopt it in place),
-        so jobs queued *after* the change are scheduled against the new
-        deadline; jobs already on a CPU keep their old one (they were
-        released before the user changed their mind).
-        """
         if not self.active:
             return
-        p = msg.payload
-        task = self.tasks.get(p["task_id"])
-        if task is None or task.state not in (
-            TaskState.ALLOCATED, TaskState.RUNNING
-        ):
-            return
-        if p.get("origin", msg.src) != task.origin_peer:
-            return  # only the owner may renegotiate
-        new_rel = p["deadline_abs"] - task.submitted_at
-        if new_rel <= 0:
-            return  # a deadline already in the past is meaningless
-        task.qos = QoSRequirements(
-            deadline=new_rel,
-            importance=p.get("importance", task.qos.importance),
-            constraints=dict(task.qos.constraints),
-        )
-        session = self.sessions.get(task.task_id)
-        if session is not None:
-            session.order.abs_deadline = task.absolute_deadline
-            session.order.importance = task.qos.importance
-            for peer_id in session.graph.peers():
-                if self.info.has_peer(peer_id) or peer_id == self.node_id:
-                    self._send_or_local(
-                        peer_id, protocol.COMPOSE,
-                        {"order": session.order},
-                        size=protocol.size_of(protocol.COMPOSE),
-                    )
-        self._emit(task, "qos_updated")
+        self.admission.update_qos(msg.payload, msg.src)
 
     def _handle_peer_leave(self, msg: Message) -> None:
         if not self.active:
             return
         peer_id = msg.payload["peer_id"]
         if self.info.has_peer(peer_id):
-            self._peer_down(peer_id, graceful=True)
+            self.repair.peer_down(peer_id, graceful=True)
 
-    # -------------------------------------------------------------- admission
-    def _admit(self, task: ApplicationTask) -> str:
-        """Try to allocate and launch *task*; returns the disposition.
-
-        Dispositions: ``"accepted"``, ``"redirected"``, ``"rejected"``.
-        """
-        now = self.env.now
-        sources = self.info.peers_with_object(task.name)
-        obj = self.object_catalog.get(task.name)
-        if not sources or obj is None:
-            return self._redirect_or_reject(task, reason="no_object")
-        allocator = self._allocator_for(task, now)
-        # Prefer the least-loaded replica holder as the stream source.
-        source_peer = min(
-            sources, key=lambda pid: self.info.effective_load(pid, now)
-        )
-        task.initial_state = obj.fmt
-        work_scale = obj.duration_s / self.rm_config.canonical_duration
-        task.meta["work_scale"] = work_scale
-        if task.initial_state == task.goal_state:
-            # Degenerate: no transcoding needed; direct transfer.
-            result = None
-            path: List[Any] = []
-        else:
-            try:
-                result = allocator.allocate(
-                    self.info,
-                    self.network,
-                    task,
-                    v_init=task.initial_state,
-                    v_sol=task.goal_state,
-                    source_peer=source_peer,
-                    sink_peer=task.origin_peer,
-                    in_bytes=obj.size_bytes,
-                    now=now,
-                    work_scale=work_scale,
-                )
-            except NoFeasibleAllocation as exc:
-                return self._redirect_or_reject(task, reason=exc.reason)
-            path = result.path
-        self._launch(task, result, path, source_peer, obj)
-        return "accepted"
-
-    def _launch(
-        self,
-        task: ApplicationTask,
-        result: Optional[AllocationResult],
-        path: List[Any],
-        source_peer: str,
-        obj: MediaObject,
-    ) -> None:
-        now = self.env.now
-        fairness = result.fairness if result else self.info.load_vector(now).fairness()
-        task.mark_allocated(
-            [(e.service_id, e.peer_id) for e in path], fairness,
-            self.domain_id,
-        )
-        graph = ServiceGraph.from_edges(
-            task.task_id, path, source_peer, task.origin_peer,
-            work_scale=task.meta.get("work_scale", 1.0),
-        )
-        self.info.register_service_graph(graph)
-        if result is not None:
-            self.info.project_allocation(
-                task.task_id, result.deltas, expires_at=task.absolute_deadline
-            )
-        order = ComposeOrder(
-            task_id=task.task_id,
-            rm_id=self.node_id,
-            source_peer=source_peer,
-            sink_peer=task.origin_peer,
-            steps=list(graph.steps),
-            abs_deadline=task.absolute_deadline,
-            importance=task.qos.importance,
-            in_bytes=obj.size_bytes,
-            epoch=0,
-        )
-        session = SessionState(
-            task_id=task.task_id, graph=graph, order=order, started_at=now,
-        )
-        session.data_holder = source_peer
-        self.sessions[task.task_id] = session
-        for peer_id in graph.peers():
-            self._send_or_local(
-                peer_id, protocol.COMPOSE, {"order": order},
-                size=protocol.size_of(protocol.COMPOSE),
-            )
-        self._send_or_local(
-            source_peer, protocol.START_STREAM,
-            {"task_id": task.task_id, "from_step": 0},
-            size=protocol.size_of(protocol.START_STREAM),
-        )
-        task.mark_running()
-        self.stats["admitted"] += 1
-        self._emit(task, "admitted")
-
+    # ---------------------------------------------------------------- routing
     def _send_or_local(
         self, dst: str, kind: str, payload: Dict[str, Any], size: float
     ) -> None:
@@ -439,253 +317,26 @@ class ResourceManager(Peer):
             return
         self.send(kind, dst, payload, size=size)
 
-    def _allocator_for(self, task: ApplicationTask, now: float):
-        """Pick the allocator variant for this admission.
-
-        With importance-aware admission enabled (RMConfig) and the
-        domain loaded past the activation threshold, a task less
-        important than the running average is allocated under a reduced
-        capacity cap — the top slice of every peer stays reserved for
-        important work.  Everyone else gets the normal allocator.
-        """
-        cfg = self.rm_config
-        if not cfg.importance_admission or not self.sessions:
-            return self.allocator
-        utils = self.info.utilization_vector(now)
-        if not utils:
-            return self.allocator
-        mean_util = sum(utils.values()) / len(utils)
-        if mean_util < cfg.importance_admission_util:
-            return self.allocator
-        running = [
-            self.tasks[tid].qos.importance
-            for tid in self.sessions
-            if tid in self.tasks
-        ]
-        if not running or task.qos.importance >= (
-            sum(running) / len(running)
-        ):
-            return self.allocator
-        base = self.allocator
-        strict_est = dataclasses.replace(
-            base.estimator,
-            max_utilization=base.estimator.max_utilization
-            * cfg.low_importance_cap,
-        )
-        return dataclasses.replace(base, estimator=strict_est)
-
-    def _redirect_or_reject(self, task: ApplicationTask, reason: str) -> str:
-        """§4.5: forward to a better domain, or reject."""
-        target = self._pick_redirect_target(task)
-        if target is not None and task.redirects < self.rm_config.max_redirects:
-            task.redirects += 1
-            self.stats["redirected_out"] += 1
-            self.send(
-                protocol.TASK_REDIRECT, target, {"task": task},
-                size=protocol.size_of(protocol.TASK_REDIRECT),
-            )
-            self._emit(task, "redirected")
-            return "redirected"
-        task.mark_rejected(self.env.now, reason=reason)
-        self.stats["rejected"] += 1
-        self._emit(task, "rejected")
-        return "rejected"
-
-    def _pick_redirect_target(self, task: ApplicationTask) -> Optional[str]:
-        """Choose another RM using the gossiped summaries (§4.5).
-
-        Prefers domains whose summary claims the object; among those,
-        the least-utilized by summarized mean load.  Falls back to any
-        other known RM when no summary matches (the Bloom filter may
-        also false-positive — the target then redirects again).
-        """
-        best: Optional[str] = None
-        best_score = float("inf")
-        fallback: Optional[str] = None
-        for rm_id, _domain in self.known_rms.items():
-            if rm_id == self.node_id:
-                continue
-            summary = self.info.remote_summaries.get(rm_id)
-            if summary is None:
-                fallback = fallback or rm_id
-                continue
-            if not summary.may_have_object(task.name):
-                continue
-            score = summary.mean_utilization
-            if score < best_score:
-                best, best_score = rm_id, score
-        return best or fallback
-
     # -------------------------------------------------------------- monitoring
     def _monitor_loop(self) -> Generator[Event, Any, None]:
+        # Sense withdrawn connections (§4.1), then expire lost tasks.
         cfg = self.rm_config
         try:
             while True:
                 yield self.env.timeout(cfg.monitor_period)
                 now = self.env.now
-                # 1. Sense withdrawn connections (silent peers, §4.1).
-                for peer_id in list(self.info.peers):
-                    if peer_id == self.node_id:
-                        continue
-                    silent = now - self.last_seen.get(peer_id, now)
-                    limit = cfg.dead_after_periods * max(
-                        self._peer_update_period(peer_id), cfg.monitor_period
-                    )
-                    if silent > limit:
-                        self._peer_down(peer_id, graceful=False)
-                # 2. Declare long-overdue silent tasks lost.
-                for task_id in list(self.sessions):
-                    task = self.tasks.get(task_id)
-                    if task is None:
-                        self.sessions.pop(task_id, None)
-                        continue
-                    if now > task.absolute_deadline + cfg.task_loss_grace:
-                        self._fail_task(task, "lost (no completion)")
+                self.repair.check_liveness(now)
+                self.registry.expire_lost(now, cfg.task_loss_grace)
         except Interrupt:
             return
 
     def _peer_update_period(self, peer_id: str) -> float:
-        """Expected report interval for liveness judgement."""
+        # Expected report interval for liveness judgement.
         return self.rm_config.expected_update_period
 
     def _peer_down(self, peer_id: str, graceful: bool) -> None:
-        """Handle a departed/failed member (§4.1)."""
-        if not self.info.has_peer(peer_id):
-            return
-        removed_edges = self.info.remove_peer(peer_id)
-        self.last_seen.pop(peer_id, None)
-        # Objects hosted only there become unavailable.
-        for name in list(self.object_catalog):
-            if not self.info.peers_with_object(name):
-                del self.object_catalog[name]
-        if self.tracer is not None:
-            self.tracer.record(
-                self.env.now, "rm.peer_down", rm=self.node_id, peer=peer_id,
-                graceful=graceful, edges=len(removed_edges),
-            )
-        # Repair interrupted tasks (the roster no longer lists the dead
-        # peer, so scan the session graphs directly).
-        affected = [
-            s.graph for s in self.sessions.values()
-            if s.graph.uses_peer(peer_id)
-        ]
-        for graph in affected:
-            task = self.tasks.get(graph.task_id)
-            if task is None:
-                continue
-            if not self.rm_config.enable_repair:
-                self._fail_task(task, f"peer {peer_id} failed")
-                continue
-            self._repair_task(task, dead_peer=peer_id)
-
-    def _repair_task(self, task: ApplicationTask, dead_peer: str) -> None:
-        """Re-run the allocation from the task's current data state (§4.1)."""
-        session = self.sessions.get(task.task_id)
-        if session is None:
-            return
-        if dead_peer == task.origin_peer:
-            self._fail_task(task, "origin peer failed")
-            return
-        # Where is the data now, and in which state?
-        resume = session.resume_point()
-        holder = session.resume_source()
-        graph = session.graph
-        if holder is None or holder == dead_peer or not self.info.has_peer(holder):
-            # The data died with the holder: restart from the source.
-            holder = graph.source_peer
-            resume = 0
-            if holder == dead_peer or not self.info.has_peer(holder):
-                # Source gone too: another replica?
-                candidates = self.info.peers_with_object(task.name)
-                if not candidates:
-                    self._fail_task(task, "source object lost")
-                    return
-                holder = candidates[0]
-        if resume == 0:
-            v_now = task.initial_state
-            in_bytes = self.object_catalog[task.name].size_bytes \
-                if task.name in self.object_catalog else 0.0
-        else:
-            v_now = graph.steps[resume - 1].dst_state
-            in_bytes = graph.steps[resume - 1].out_bytes
-        # Remaining conversion work still needed?
-        if v_now == task.goal_state:
-            remaining_path: List[Any] = []
-            result = None
-        else:
-            try:
-                result = self.allocator.allocate(
-                    self.info,
-                    self.network,
-                    task,
-                    v_init=v_now,
-                    v_sol=task.goal_state,
-                    source_peer=holder,
-                    sink_peer=task.origin_peer,
-                    in_bytes=in_bytes,
-                    now=self.env.now,
-                    work_scale=task.meta.get("work_scale", 1.0),
-                )
-                remaining_path = result.path
-            except NoFeasibleAllocation:
-                self._fail_task(task, "repair found no allocation")
-                return
-        # Rebuild the service graph: done prefix + fresh suffix.
-        scale = task.meta.get("work_scale", 1.0)
-        suffix = ServiceGraph.from_edges(
-            task.task_id, remaining_path, holder, task.origin_peer,
-            work_scale=scale, index_offset=resume,
-        )
-        graph.steps = list(graph.steps[:resume]) + list(suffix.steps)
-        session.epoch += 1
-        session.repairs += 1
-        task.repairs += 1
-        self.stats["repairs"] += 1
-        self.info.release_projection(task.task_id)
-        if result is not None:
-            self.info.project_allocation(
-                task.task_id, result.deltas, expires_at=task.absolute_deadline
-            )
-        task.allocation = graph.allocation_pairs()
-        order = ComposeOrder(
-            task_id=task.task_id,
-            rm_id=self.node_id,
-            source_peer=graph.source_peer,
-            sink_peer=task.origin_peer,
-            steps=list(graph.steps),
-            abs_deadline=task.absolute_deadline,
-            importance=task.qos.importance,
-            in_bytes=session.order.in_bytes,
-            resume_from=resume,
-            epoch=session.epoch,
-        )
-        session.order = order
-        # Everyone still involved gets the new chain; the holder resumes.
-        recipients = set(graph.peers()) | {holder}
-        for peer_id in recipients:
-            if peer_id == dead_peer:
-                continue
-            self._send_or_local(
-                peer_id, protocol.COMPOSE, {"order": order},
-                size=protocol.size_of(protocol.COMPOSE),
-            )
-        self._send_or_local(
-            holder, protocol.START_STREAM,
-            {"task_id": task.task_id, "from_step": resume},
-            size=protocol.size_of(protocol.START_STREAM),
-        )
-        self._emit(task, "repaired")
-
-    def _fail_task(self, task: ApplicationTask, reason: str) -> None:
-        task.mark_failed(self.env.now, reason)
-        self._cleanup_task(task.task_id)
-        self.stats["failed"] += 1
-        self._emit(task, "failed")
-
-    def _cleanup_task(self, task_id: str) -> None:
-        self.sessions.pop(task_id, None)
-        self.info.drop_service_graph(task_id)
-        self.info.release_projection(task_id)
+        """Stable failover entry point; delegates to the coordinator."""
+        self.repair.peer_down(peer_id, graceful)
 
     # ------------------------------------------------------------ reassignment
     def _reassign_loop(self) -> Generator[Event, Any, None]:
@@ -695,146 +346,17 @@ class ResourceManager(Peer):
                 yield self.env.timeout(cfg.reassign_period)
                 if not self.active or self.info.n_peers == 0:
                     continue
-                self._maybe_reassign()
+                self.repair.maybe_reassign()
         except Interrupt:
             return
-
-    def _maybe_reassign(self) -> None:
-        """§4.5: under overload/unfairness, migrate a running task."""
-        now = self.env.now
-        utils = self.info.utilization_vector(now)
-        if not utils:
-            return
-        mean_util = sum(utils.values()) / len(utils)
-        # §4.5: reassignment is an *overload* response — a merely uneven
-        # but lightly loaded domain is left alone (migrating a healthy
-        # task costs a restart of its remaining steps).
-        if mean_util < self.rm_config.overload_utilization:
-            return
-        # Candidate: the running task with the most remaining steps on the
-        # most-loaded peer, lowest importance first.
-        hottest = max(utils, key=lambda p: utils[p])
-        candidates: List[tuple[float, ApplicationTask, SessionState]] = []
-        for session in self.sessions.values():
-            task = self.tasks.get(session.task_id)
-            if task is None or task.state is not TaskState.RUNNING:
-                continue
-            resume = session.resume_point()
-            future = session.graph.steps[resume:]
-            if any(s.peer_id == hottest for s in future):
-                candidates.append((task.qos.importance, task, session))
-        if not candidates:
-            return
-        candidates.sort(key=lambda t: t[0])
-        _, task, session = candidates[0]
-        self._migrate_task(task, session, avoid_peer=hottest)
-
-    def _migrate_task(
-        self, task: ApplicationTask, session: SessionState, avoid_peer: str
-    ) -> None:
-        """Re-allocate a running task's remaining steps away from a hot peer."""
-        resume = session.resume_point()
-        graph = session.graph
-        holder = session.resume_source() or graph.source_peer
-        if not self.info.has_peer(holder):
-            return
-        if resume == 0:
-            v_now = task.initial_state
-            in_bytes = session.order.in_bytes
-        else:
-            v_now = graph.steps[resume - 1].dst_state
-            in_bytes = graph.steps[resume - 1].out_bytes
-        if v_now == task.goal_state:
-            return
-        # Temporarily bias the load view against the hot peer so the
-        # allocator routes around it.
-        loads = self.info.load_vector(self.env.now)
-        old_fairness = loads.fairness()
-        try:
-            result = self.allocator.allocate(
-                self.info,
-                self.network,
-                task,
-                v_init=v_now,
-                v_sol=task.goal_state,
-                source_peer=holder,
-                sink_peer=task.origin_peer,
-                in_bytes=in_bytes,
-                now=self.env.now,
-                work_scale=task.meta.get("work_scale", 1.0),
-            )
-        except NoFeasibleAllocation:
-            return
-        uses_hot = any(e.peer_id == avoid_peer for e in result.path)
-        current_future = graph.steps[resume:]
-        same = [
-            (s.service_id, s.peer_id) for s in current_future
-        ] == [(e.service_id, e.peer_id) for e in result.path]
-        if (
-            same
-            or uses_hot
-            or result.fairness
-            < old_fairness + self.rm_config.reassign_min_gain
-        ):
-            return
-        # Cancel the not-yet-run suffix at its old peers.
-        for step in current_future:
-            self._send_or_local(
-                step.peer_id, protocol.CANCEL_TASK,
-                {"task_id": task.task_id},
-                size=protocol.size_of(protocol.CANCEL_TASK),
-            )
-        suffix = ServiceGraph.from_edges(
-            task.task_id, result.path, holder, task.origin_peer,
-            work_scale=task.meta.get("work_scale", 1.0), index_offset=resume,
-        )
-        graph.steps = list(graph.steps[:resume]) + list(suffix.steps)
-        session.epoch += 1
-        self.stats["reassignments"] += 1
-        self.info.release_projection(task.task_id)
-        self.info.project_allocation(
-            task.task_id, result.deltas, expires_at=task.absolute_deadline
-        )
-        task.allocation = graph.allocation_pairs()
-        order = ComposeOrder(
-            task_id=task.task_id,
-            rm_id=self.node_id,
-            source_peer=graph.source_peer,
-            sink_peer=task.origin_peer,
-            steps=list(graph.steps),
-            abs_deadline=task.absolute_deadline,
-            importance=task.qos.importance,
-            in_bytes=session.order.in_bytes,
-            resume_from=resume,
-            epoch=session.epoch,
-        )
-        session.order = order
-        for peer_id in set(graph.peers()) | {holder}:
-            self._send_or_local(
-                peer_id, protocol.COMPOSE, {"order": order},
-                size=protocol.size_of(protocol.COMPOSE),
-            )
-        self._send_or_local(
-            holder, protocol.START_STREAM,
-            {"task_id": task.task_id, "from_step": resume},
-            size=protocol.size_of(protocol.START_STREAM),
-        )
-        self._emit(task, "reassigned")
 
     # ------------------------------------------------------------ join protocol
     def consider_join(self, power: float, bandwidth: float,
                       uptime_score: float) -> str:
-        """§4.1 admission decision for a joining peer.
-
-        Returns ``"accept"`` when the domain has room, ``"promote"``
-        when it is full but the newcomer could lead a new domain
-        (qualification is judged by the overlay), ``"redirect"``
-        otherwise.
-        """
+        """§4.1 join decision: accept / promote (full) / redirect (busy)."""
         if not self.active:
             return "redirect"
         if self.profiler.utilization > self.rm_config.join_accept_max_util:
-            # §4.1: no spare management capacity at this RM right now.
             return "redirect"
         if not self.is_full:
             return "accept"
@@ -842,49 +364,15 @@ class ResourceManager(Peer):
 
     # --------------------------------------------------------- failover support
     def snapshot_state(self) -> Dict[str, Any]:
-        """Serializable-ish state for backup replication (§4.1).
-
-        Structures are copied shallowly: records and graphs are rebuilt
-        on restore, so the backup's post-takeover mutations cannot leak
-        back into the dead primary's objects.
-        """
-        return {
-            "domain_id": self.domain_id,
-            "peers": {
-                pid: rec.clone() for pid, rec in self.info.peers.items()
-            },
-            "object_catalog": dict(self.object_catalog),
-            "resource_graph": self.info.resource_graph.copy(),
-            "tasks": dict(self.tasks),
-            "sessions": dict(self.sessions),
-            "service_graphs": dict(self.info.service_graphs),
-            "known_rms": dict(self.known_rms),
-            "remote_summaries": dict(self.info.remote_summaries),
-            "last_seen": dict(self.last_seen),
-        }
+        """Serializable-ish state for backup replication (§4.1)."""
+        return self.registry.snapshot_state()
 
     def restore_state(self, snapshot: Dict[str, Any]) -> None:
         """Load a replicated snapshot (backup preparing for takeover)."""
-        self.domain_id = snapshot["domain_id"]
-        self.info = DomainInfoBase(self.domain_id, self.node_id)
-        for pid, rec in snapshot["peers"].items():
-            self.info.add_peer(rec)
-        self.info.resource_graph = snapshot["resource_graph"]
-        self.info.service_graphs = dict(snapshot["service_graphs"])
-        self.info.remote_summaries = dict(snapshot["remote_summaries"])
-        self.object_catalog = dict(snapshot["object_catalog"])
-        self.tasks = dict(snapshot["tasks"])
-        self.sessions = dict(snapshot["sessions"])
-        self.known_rms = dict(snapshot["known_rms"])
-        self.last_seen = dict(snapshot["last_seen"])
+        self.registry.restore_state(snapshot)
 
     def activate(self) -> None:
-        """Backup takes over as primary (§4.1).
-
-        Starts the monitoring loops, tells every member to re-point its
-        reports here, and re-addresses the running sessions' compose
-        orders so completions flow to the new RM.
-        """
+        """Backup takes over as primary (§4.1)."""
         if self.active:
             return
         self.active = True
@@ -893,69 +381,11 @@ class ResourceManager(Peer):
         for pid in list(self.info.peers):
             self.last_seen[pid] = now
         self._start_loops()
-        for pid in self.info.peers:
-            if pid == self.node_id:
-                continue
-            self.send(
-                protocol.RM_TAKEOVER, pid, {"rm_id": self.node_id},
-                size=protocol.size_of(protocol.RM_TAKEOVER),
-            )
-        # Re-issue compose orders with ourselves as coordinator so
-        # TASK_DONE / STEP_DONE reach the new RM.
-        for session in self.sessions.values():
-            order = session.order
-            order.rm_id = self.node_id
-            for pid in session.graph.peers():
-                if self.info.has_peer(pid) or pid == self.node_id:
-                    self._send_or_local(
-                        pid, protocol.COMPOSE, {"order": order},
-                        size=protocol.size_of(protocol.COMPOSE),
-                    )
-        if self.tracer is not None:
-            self.tracer.record(now, "rm.takeover", rm=self.node_id,
-                               domain=self.domain_id)
-        tel = telemetry.current()
-        if tel.enabled:
-            tel.tracer.event(
-                "rm.takeover", node=self.node_id, domain=self.domain_id
-            )
+        self.registry.takeover()
 
     # ---------------------------------------------------------------- utilities
-    #: ``_emit`` events that end a task's lifecycle (close its span).
-    _TERMINAL_EVENTS = frozenset({"completed", "rejected", "failed"})
-
     def _emit(self, task: ApplicationTask, event: str) -> None:
-        if self.tracer is not None:
-            self.tracer.record(
-                self.env.now, f"task.{event}", task=task.task_id,
-                rm=self.node_id,
-            )
-        tel = telemetry.current()
-        if tel.enabled:
-            trace_id = f"task:{task.task_id}"
-            if event == "submitted":
-                tel.tracer.start_span(
-                    task.task_id, kind=telemetry.TASK, node=self.node_id,
-                    trace_id=trace_id, key=trace_id,
-                    origin=task.origin_peer, deadline=task.qos.deadline,
-                    importance=task.qos.importance,
-                )
-                tel.metrics.counter("tasks_submitted_total").inc()
-            elif event in self._TERMINAL_EVENTS:
-                outcome = task.outcome.value if task.outcome else None
-                tel.tracer.end_span_key(trace_id, status=event,
-                                        outcome=outcome)
-                tel.metrics.counter(
-                    "tasks_finished_total", event=event
-                ).inc()
-            else:
-                span = tel.tracer.open_span(trace_id)
-                tel.tracer.event(
-                    f"task.{event}", node=self.node_id, trace_id=trace_id,
-                    span_id=span.span_id if span else None,
-                )
-        if self.on_task_event is not None:
-            self.on_task_event(task, event)
+        emit_task_event(self, task, event)
 
     def domain_fairness(self) -> float:
         """Current fairness index over the domain's effective loads."""
@@ -964,6 +394,6 @@ class ResourceManager(Peer):
     def __repr__(self) -> str:
         return (
             f"<ResourceManager {self.node_id} domain={self.domain_id} "
-            f"peers={self.info.n_peers} tasks={len(self.sessions)} "
-            f"{'active' if self.active else 'passive'}>"
+            f"peers={self.info.n_peers} tasks={len(self.sessions)} policy="
+            f"{self.policy_name} {'active' if self.active else 'passive'}>"
         )

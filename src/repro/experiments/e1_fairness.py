@@ -14,6 +14,7 @@ distribution, plus goodput.
 
 from __future__ import annotations
 
+from repro.core.control.placement import policy_names
 from repro.experiments.base import ExperimentResult, replicate, seeds_for
 from repro.workloads import (
     PopulationConfig,
@@ -22,7 +23,9 @@ from repro.workloads import (
     build_scenario,
 )
 
-POLICIES = ["fairness", "least_loaded", "round_robin", "random", "first"]
+# The paper policy plus every built-in baseline from the placement
+# registry ("fairness" is an alias of "paper" and is skipped).
+POLICIES = [n for n in policy_names() if n != "fairness"]
 
 
 def run_once(

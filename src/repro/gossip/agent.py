@@ -125,10 +125,15 @@ class GossipAgent:
             )
 
     def _handle_summaries(self, msg: Message) -> None:
+        now = self.rm.env.now
         for summary in msg.payload["summaries"]:
             held = self.summaries.get(summary.rm_id)
             if summary.newer_than(held):
                 self.summaries[summary.rm_id] = summary
+                # Stamp the receipt so redirect staleness bounds can
+                # distrust load reports that stopped refreshing.
+                if summary.rm_id != self.rm.node_id:
+                    self.rm.info.note_summary(summary.rm_id, summary, now)
         self._sync_into_rm()
 
     # -- the loop ---------------------------------------------------------------

@@ -1,6 +1,27 @@
-"""Run-level metrics: task outcomes, fairness series, overheads."""
+"""Deprecated alias for :mod:`repro.results`.
 
-from repro.metrics.collector import MetricsCollector, RunSummary
-from repro.metrics.timeseries import TimeSeries
+This package used to hold the simulation run-result collector, which
+collided with :mod:`repro.telemetry.metrics` (the Prometheus-style
+runtime metrics registry).  It now lives at :mod:`repro.results`;
+importing from ``repro.metrics`` keeps working but warns.
+"""
+
+import sys
+import warnings
+
+from repro.results import MetricsCollector, RunSummary, TimeSeries
+from repro.results import collector, timeseries
+
+warnings.warn(
+    "repro.metrics has been renamed to repro.results; "
+    "update imports (repro.metrics will be removed in a future release)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+# Legacy submodule paths (repro.metrics.collector, .timeseries) resolve
+# to the relocated modules.
+sys.modules[__name__ + ".collector"] = collector
+sys.modules[__name__ + ".timeseries"] = timeseries
 
 __all__ = ["MetricsCollector", "RunSummary", "TimeSeries"]

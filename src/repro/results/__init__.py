@@ -1,0 +1,6 @@
+"""Run-level result collection: task outcomes, fairness series, overheads."""
+
+from repro.results.collector import MetricsCollector, RunSummary
+from repro.results.timeseries import TimeSeries
+
+__all__ = ["MetricsCollector", "RunSummary", "TimeSeries"]

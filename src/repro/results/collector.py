@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.common.util import percentile
-from repro.metrics.timeseries import TimeSeries
+from repro.results.timeseries import TimeSeries
 from repro.core.fairness import jain_fairness
 from repro.sim.core import Environment
 from repro.sim.events import Event, Interrupt

@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock completion timeout per task (default 30)",
     )
     parser.add_argument(
+        "--policy", default="paper",
+        choices=(
+            "paper", "fairness", "first", "random", "least_loaded",
+            "round_robin",
+        ),
+        help="placement policy the elected RM runs (default paper)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit a machine-readable JSON report instead of text",
     )
@@ -81,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
 async def run_live(args: argparse.Namespace) -> Dict[str, Any]:
     config = LiveClusterConfig(
         n_peers=args.peers, object_duration_s=args.duration,
+        placement_policy=args.policy,
     )
     cluster = LiveCluster(config)
     known = sorted(s.node_id for s in cluster.specs)

@@ -48,6 +48,9 @@ class LiveClusterConfig:
     rm_bandwidth: float = 1.0e7
     rm_uptime: float = 1.0
     join_timeout: float = 10.0
+    #: Placement policy name the elected RM runs (registry name;
+    #: overrides ``rm_config.placement_policy`` when non-default).
+    placement_policy: str = "paper"
     rm_config: Optional[RMConfig] = None
     #: Extra kwargs forwarded to every UdpTransport (test shims).
     transport_kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -117,6 +120,8 @@ class LiveCluster:
         rm_config = cfg.rm_config or RMConfig(
             expected_update_period=cfg.profiler_update_period,
         )
+        if cfg.placement_policy != "paper":
+            rm_config.placement_policy = cfg.placement_policy
         self.bootstrap = BootstrapServer(
             self.directory,
             expected_peers=len(self.specs),

@@ -43,6 +43,15 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=None, help="override the config seed"
     )
     parser.add_argument(
+        "--policy", default=None,
+        choices=(
+            "paper", "fairness", "first", "random", "least_loaded",
+            "round_robin",
+        ),
+        help="override the placement policy (default: the config's "
+        "allocation_policy / rm.placement_policy)",
+    )
+    parser.add_argument(
         "--record-trace", metavar="FILE",
         help="record generated requests to a CSV trace",
     )
@@ -66,6 +75,9 @@ def main(argv: list[str] | None = None) -> int:
     cfg = load_config(args.config)
     if args.seed is not None:
         cfg.seed = args.seed
+    if args.policy is not None:
+        cfg.allocation_policy = args.policy
+        cfg.rm.placement_policy = args.policy
     scenario = build_scenario(cfg)
     recorder = None
     if args.record_trace:

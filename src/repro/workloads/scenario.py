@@ -10,7 +10,7 @@ from repro.core.estimate import CompletionTimeEstimator
 from repro.core.manager import RMConfig
 from repro.gossip.agent import GossipConfig
 from repro.media.objects import MediaObject
-from repro.metrics.collector import MetricsCollector, RunSummary
+from repro.results.collector import MetricsCollector, RunSummary
 from repro.net.latency import DomainAwareLatency
 from repro.net.message import Message
 from repro.net.network import Network
@@ -35,8 +35,10 @@ class ScenarioConfig:
     """Everything that defines one simulation run."""
 
     seed: int = 0
-    #: Allocation policy: fairness | first | random | least_loaded |
-    #: round_robin (see :mod:`repro.baselines`).
+    #: Allocation policy: paper/fairness | first | random | least_loaded |
+    #: round_robin (see :mod:`repro.core.control.placement`).  The
+    #: default defers to ``rm.placement_policy`` when that names a
+    #: non-default policy, so either config section can pick the policy.
     allocation_policy: str = "fairness"
     #: Path search variant: "paper" (Fig-3 BFS) or "exhaustive".
     visited_policy: str = "paper"
@@ -124,9 +126,18 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     cfg.rm.canonical_duration = cfg.population.object_duration
     cfg.rm.expected_update_period = cfg.population.update_period
 
+    # Either config section may name the policy: `allocation_policy`
+    # (historic) wins when set to a non-default value, otherwise a
+    # non-default `rm.placement_policy` is honored.
+    policy = cfg.allocation_policy
+    if policy in ("fairness", "paper") and cfg.rm.placement_policy not in (
+        "paper", "fairness"
+    ):
+        policy = cfg.rm.placement_policy
+
     def allocator_factory():
         return make_allocator(
-            cfg.allocation_policy,
+            policy,
             rng=streams.get("allocator"),
             visited_policy=cfg.visited_policy,
             estimator=cfg.estimator,

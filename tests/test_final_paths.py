@@ -1,10 +1,8 @@
 """Final coverage batch: tracing, CLI export, churn mutator, misc."""
 
 import json
-import os
 
 import numpy as np
-import pytest
 
 from repro.core import protocol
 from repro.experiments.cli import main as cli_main

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.manager import RMConfig
-from repro.gossip import GossipAgent, GossipConfig
+from repro.gossip import GossipConfig
 from repro.net import ConstantLatency, Network
 from repro.overlay import (
     ChurnConfig,

@@ -1,6 +1,5 @@
 """NetworkX bridge, critical-peer analysis, DOT export."""
 
-import networkx as nx
 import pytest
 
 from repro.graphs import ResourceGraph, ServiceGraph

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.manager import RMConfig
-from repro.metrics import MetricsCollector
+from repro.results import MetricsCollector
 from repro.sim import Environment
 from repro.tasks import ApplicationTask, QoSRequirements
 from tests.conftest import build_live_domain

@@ -121,7 +121,7 @@ class TestDynamics:
             scenario.overlay.fail_peer(primary_id)
 
         scenario.env.process(killer())
-        summary = scenario.run(duration=200.0, drain=60.0)
+        scenario.run(duration=200.0, drain=60.0)
         domain = next(iter(scenario.overlay.domains.values()))
         assert domain.rm.node_id == backup_id
         assert domain.rm.active

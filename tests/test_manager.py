@@ -1,7 +1,5 @@
 """The Resource Manager: admission, sessions, repair, adaptation."""
 
-import pytest
-
 from repro.core.manager import RMConfig
 from repro.tasks.task import TaskOutcome, TaskState
 from tests.conftest import build_live_domain

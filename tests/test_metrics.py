@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics import MetricsCollector, RunSummary, TimeSeries
+from repro.results import MetricsCollector, RunSummary, TimeSeries
 from repro.sim import Environment
 from repro.tasks import ApplicationTask, QoSRequirements
 

@@ -1,7 +1,5 @@
 """Targeted tests for less-travelled paths."""
 
-import pytest
-
 from repro.core import protocol
 from repro.net.message import Message
 from repro.tasks.task import TaskOutcome

@@ -152,8 +152,8 @@ class TestAdaptiveReporting:
         from repro.scheduling import Job
 
         reports = []
-        prof = Profiler(env, cpu, report_fn=reports.append,
-                        update_period=2.0, adaptive=True)
+        Profiler(env, cpu, report_fn=reports.append,
+                 update_period=2.0, adaptive=True)
         # Keep the CPU busy the whole time.
         cpu.submit(Job(work=4000.0, abs_deadline=1e9, release=0.0))
         env.run(until=20.0)

@@ -1,11 +1,8 @@
 """Peer-side session execution: streams, epochs, cancellation."""
 
-import pytest
-
 from repro.core import protocol
 from repro.core.session import ComposeOrder
 from repro.graphs.service_graph import ServiceStep
-from tests.conftest import build_live_domain
 
 
 def make_order(d, task_id="tX", epoch=0, steps_peers=("P2",),
@@ -112,7 +109,6 @@ class TestFailureAPI:
     def test_dead_peer_sends_nothing(self, live_domain):
         d = live_domain
         d.peers["P2"].fail()
-        sent_before = d.net.stats.sent
         d.env.run(until=10.0)
         # Profiler was stopped: no more load updates from P2.
         updates_from_p2 = [

@@ -1,6 +1,5 @@
 """The sensor-pipeline application domain (architecture generality)."""
 
-import numpy as np
 import pytest
 
 from repro.pipelines import (
@@ -133,7 +132,7 @@ class TestEndToEndPipelines:
     def test_full_system_on_pipeline_domain(self):
         """The unchanged core completes pipeline tasks end to end."""
         from repro.core.manager import RMConfig
-        from repro.metrics import MetricsCollector
+        from repro.results import MetricsCollector
         from repro.net import Network
         from repro.overlay import OverlayNetwork
         from repro.sim import Environment, RandomStreams

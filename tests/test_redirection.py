@@ -5,8 +5,6 @@ submitted in domain A must be redirected — and with gossiped Bloom
 summaries the redirect is *targeted* at B rather than blind.
 """
 
-import pytest
-
 from repro.core import Peer, PeerConfig, ResourceManager
 from repro.core.info_base import PeerRecord
 from repro.core.manager import RMConfig

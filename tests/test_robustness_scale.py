@@ -1,6 +1,5 @@
 """Robustness odds-and-ends and a scale smoke test."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

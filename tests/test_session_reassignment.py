@@ -1,7 +1,5 @@
 """SessionState bookkeeping and §4.5 overload reassignment."""
 
-import pytest
-
 from repro.core.manager import RMConfig
 from repro.core.session import SessionState, ComposeOrder
 from repro.graphs.service_graph import ServiceGraph, ServiceStep

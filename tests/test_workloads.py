@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.media import MediaFormat
 from repro.workloads import (
     MediaCatalog,
     PopulationConfig,
