@@ -24,7 +24,9 @@ class RandomSelector:
     """Uniform choice among feasible candidates."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback; reproducible selection requires a
+        # seed-derived rng (build_scenario plumbs one).
+        self.rng = rng if rng is not None else np.random.default_rng()
 
     def __call__(self, candidates: List[Candidate]) -> Candidate:
         return candidates[int(self.rng.integers(len(candidates)))]

@@ -1,0 +1,169 @@
+"""``repro-bench`` — the pinned performance suite.
+
+Runs the registered macro scenarios and micro benchmarks with
+warmup/repeat discipline, prints a throughput table, and writes a
+schema-versioned JSON report (``BENCH_4.json`` by convention at the
+repo root).  With ``--baseline`` it additionally gates on regression:
+any benchmark whose ``events_per_sec`` fell more than ``--gate-pct``
+percent below the baseline fails the run (exit code 1) — this is what
+CI's bench-smoke job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.benchmarking import harness
+from repro.benchmarking.scenarios import BENCHES, select
+
+
+def _format_table(records: List[harness.BenchRecord]) -> str:
+    headers = ["benchmark", "events", "best_s", "mean_s", "events/s",
+               "peak_rss_mb"]
+    rows = [
+        [
+            r.name,
+            f"{r.events:,}",
+            f"{r.wall_s['min']:.3f}",
+            f"{r.wall_s['mean']:.3f}",
+            f"{r.events_per_sec:,.0f}",
+            f"{r.peak_rss_kb / 1024:.0f}",
+        ]
+        for r in records
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: reduced durations, heavy rungs skipped",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_benches",
+        help="list registered benchmarks and exit",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated benchmark names to run (default: all)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="unrecorded runs per benchmark (default 1; 0 in --quick)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="recorded runs per benchmark (default 3; 2 in --quick)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here (default BENCH_4.json; '-' to skip)",
+    )
+    parser.add_argument(
+        "--bench-id", default="BENCH_4",
+        help="identifier stamped into the report (default BENCH_4)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against this report and gate on regression",
+    )
+    parser.add_argument(
+        "--gate-pct", type=float, default=25.0,
+        help="max tolerated events/sec drop vs baseline, percent "
+             "(default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_benches:
+        for spec in BENCHES:
+            quick = "quick+full" if spec.quick else "full only"
+            print(f"{spec.name:22s} [{spec.family}] ({quick}) "
+                  f"{spec.params}")
+        return 0
+
+    only = (
+        [n.strip() for n in args.only.split(",") if n.strip()]
+        if args.only else None
+    )
+    try:
+        specs = select(only=only, quick=args.quick)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    warmup = args.warmup if args.warmup is not None else (
+        0 if args.quick else 1
+    )
+    repeat = args.repeat if args.repeat is not None else (
+        2 if args.quick else 3
+    )
+
+    records: List[harness.BenchRecord] = []
+    for spec in specs:
+        params = spec.effective_params(quick=args.quick)
+        print(f"running {spec.name} {params} "
+              f"(warmup={warmup}, repeat={repeat}) ...", flush=True)
+        record = harness.run_benchmark(
+            spec.name, spec.build(quick=args.quick),
+            params=params, warmup=warmup, repeat=repeat,
+        )
+        records.append(record)
+
+    print()
+    print(_format_table(records))
+
+    out_path = args.out
+    if out_path is None:
+        out_path = "BENCH_4.json"
+    if out_path != "-":
+        mode = "quick" if args.quick else "full"
+        doc = harness.report_document(records, mode=mode,
+                                      bench_id=args.bench_id)
+        harness.write_report(out_path, doc)
+        print(f"\nwrote {out_path}")
+
+    if args.baseline:
+        try:
+            baseline = harness.load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"error: baseline file not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        regressions = harness.find_regressions(
+            baseline, records, gate_pct=args.gate_pct
+        )
+        compared = sum(
+            1 for r in records
+            if any(b["name"] == r.name for b in baseline.get("results", []))
+        )
+        print(f"\nregression gate: {compared} benchmark(s) compared "
+              f"against {args.baseline} (gate {args.gate_pct:.0f}%)")
+        if regressions:
+            for reg in regressions:
+                print(
+                    f"  REGRESSION {reg.name}: "
+                    f"{reg.baseline_eps:,.0f} -> {reg.current_eps:,.0f} "
+                    f"events/s ({reg.slowdown_pct:.1f}% slower)",
+                    file=sys.stderr,
+                )
+            return 1
+        print("  no regressions beyond the gate")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,324 @@
+"""The pinned benchmark suite behind ``repro-bench``.
+
+Two families:
+
+*macro*
+    Whole-system scenarios built through :func:`build_scenario` (the
+    same entry point the experiments use): the e4-style scalability
+    ladder at 250/1000/2500 peers, a churning overlay, and a pure
+    gossip-convergence run.  The work unit is **kernel events
+    processed** (``Environment.n_processed``) — stable across
+    refactors as long as the simulated trajectory is unchanged, which
+    is exactly the invariant the optimization passes preserve.
+*micro*
+    Isolated hot paths (event kernel, network send, mailbox traffic)
+    for attributing a macro-level regression to a subsystem.
+
+Every benchmark is deterministic: fixed seeds, no wall-clock
+dependence inside the simulated world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.benchmarking.harness import PhaseTimer
+
+
+@dataclass
+class BenchSpec:
+    """One registered benchmark: how to build it and how to scale it."""
+
+    name: str
+    family: str  # "macro" | "micro"
+    make: Callable[..., Callable[[], Dict[str, Any]]]
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Parameter overrides applied in ``--quick`` mode (CI smoke).
+    quick_params: Dict[str, Any] = field(default_factory=dict)
+    #: Excluded from ``--quick`` runs entirely when False.
+    quick: bool = True
+
+    def build(self, quick: bool = False) -> Callable[[], Dict[str, Any]]:
+        params = dict(self.params)
+        if quick:
+            params.update(self.quick_params)
+        return self.make(**params)
+
+    def effective_params(self, quick: bool = False) -> Dict[str, Any]:
+        params = dict(self.params)
+        if quick:
+            params.update(self.quick_params)
+        return params
+
+
+# -- macro scenarios ---------------------------------------------------------
+
+def _scalability(n_peers: int, duration: float, seed: int) -> Callable:
+    """e4-style ladder rung: constant per-peer load, bounded domains."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.core.manager import RMConfig
+        from repro.workloads import (
+            PopulationConfig,
+            ScenarioConfig,
+            WorkloadConfig,
+            build_scenario,
+        )
+
+        timer = PhaseTimer()
+        cfg = ScenarioConfig(
+            seed=seed,
+            population=PopulationConfig(
+                n_peers=n_peers,
+                n_objects=max(6, n_peers // 2),
+                replication=3,
+            ),
+            workload=WorkloadConfig(rate=0.03 * n_peers),
+            rm=RMConfig(max_peers=16),
+        )
+        with timer.phase("build"):
+            scenario = build_scenario(cfg)
+        with timer.phase("run"):
+            scenario.env.run(until=scenario.env.now + duration)
+        return {
+            "events": scenario.env.n_processed,
+            "phases": timer.phases,
+            "metrics": {
+                "domains": scenario.overlay.n_domains,
+                "peers_joined": scenario.overlay.n_peers,
+                "messages": scenario.network.stats.sent,
+                "sim_duration": duration,
+            },
+        }
+
+    return fn
+
+
+def _churn(n_peers: int, duration: float, seed: int) -> Callable:
+    """A churning overlay: joins/leaves/failovers dominate."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.core.manager import RMConfig
+        from repro.overlay import ChurnConfig
+        from repro.workloads import (
+            PopulationConfig,
+            ScenarioConfig,
+            WorkloadConfig,
+            build_scenario,
+        )
+
+        timer = PhaseTimer()
+        cfg = ScenarioConfig(
+            seed=seed,
+            population=PopulationConfig(
+                n_peers=n_peers,
+                n_objects=max(6, n_peers // 2),
+                replication=3,
+            ),
+            workload=WorkloadConfig(rate=0.02 * n_peers),
+            rm=RMConfig(max_peers=16),
+            churn=ChurnConfig(mean_lifetime=40.0, mean_offtime=10.0),
+        )
+        with timer.phase("build"):
+            scenario = build_scenario(cfg)
+        with timer.phase("run"):
+            scenario.env.run(until=scenario.env.now + duration)
+        return {
+            "events": scenario.env.n_processed,
+            "phases": timer.phases,
+            "metrics": {
+                "departures": scenario.churn.departures,
+                "rejoins": scenario.churn.rejoins,
+                "messages": scenario.network.stats.sent,
+            },
+        }
+
+    return fn
+
+
+def _gossip_convergence(
+    n_domains: int, peers_per_domain: int, duration: float, seed: int
+) -> Callable:
+    """Anti-entropy across many single-RM domains, no workload."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.core.manager import RMConfig
+        from repro.gossip import GossipConfig
+        from repro.net import ConstantLatency, Network
+        from repro.overlay import OverlayNetwork, PeerSpec
+        from repro.sim import Environment, RandomStreams
+
+        timer = PhaseTimer()
+        with timer.phase("build"):
+            env = Environment()
+            net = Network(env, ConstantLatency(0.005), bandwidth=1e7)
+            overlay = OverlayNetwork(
+                env, net,
+                rm_config=RMConfig(max_peers=peers_per_domain),
+                gossip_config=GossipConfig(period=2.0, fanout=3),
+                enable_backups=False,
+                streams=RandomStreams(seed),
+            )
+            for i in range(n_domains * peers_per_domain):
+                overlay.join(PeerSpec(
+                    peer_id=f"p{i}", power=10.0, bandwidth=2e6, uptime=0.9,
+                ))
+        with timer.phase("run"):
+            env.run(until=duration)
+        agents = [d.gossip for d in overlay.domains.values()]
+        converged = (
+            agents[0].converged_with(agents[1:]) if len(agents) > 1 else True
+        )
+        return {
+            "events": env.n_processed,
+            "phases": timer.phases,
+            "metrics": {
+                "domains": overlay.n_domains,
+                "converged": bool(converged),
+                "messages": net.stats.sent,
+            },
+        }
+
+    return fn
+
+
+# -- micro benchmarks --------------------------------------------------------
+
+def _micro_kernel(n_timeouts: int) -> Callable:
+    """Raw event-kernel throughput: one process draining timeouts."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.sim import Environment
+
+        env = Environment()
+
+        def ticker():
+            for _ in range(n_timeouts):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        return {"events": env.n_processed, "metrics": {}}
+
+    return fn
+
+
+def _micro_net_send(n_messages: int) -> Callable:
+    """Fabric send/deliver path between two nodes (FIFO, stats, mailbox)."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.net import ConstantLatency, NetNode, Network
+        from repro.sim import Environment
+
+        env = Environment()
+        net = Network(env, ConstantLatency(0.001), bandwidth=1e9)
+        a = NetNode(env, net, "a")
+        b = NetNode(env, net, "b")
+        got = []
+        b.on("m", lambda msg: got.append(1))
+        for i in range(n_messages):
+            a.send("m", "b", {"i": i})
+        env.run()
+        assert len(got) == n_messages
+        return {
+            "events": env.n_processed,
+            "metrics": {"delivered": net.stats.delivered},
+        }
+
+    return fn
+
+
+def _micro_mailbox(n_items: int) -> Callable:
+    """Store put/get ping-pong (the mailbox primitive under every node)."""
+
+    def fn() -> Dict[str, Any]:
+        from repro.sim import Environment
+        from repro.sim.resources import Store
+
+        env = Environment()
+        store = Store(env)
+        taken = []
+
+        def producer():
+            for i in range(n_items):
+                store.put(i)
+                yield env.timeout(0.0)
+
+        def consumer():
+            for _ in range(n_items):
+                item = yield store.get()
+                taken.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert len(taken) == n_items
+        return {"events": env.n_processed, "metrics": {}}
+
+    return fn
+
+
+#: The registry, in execution order.
+BENCHES: List[BenchSpec] = [
+    BenchSpec(
+        name="scalability_250", family="macro", make=_scalability,
+        params={"n_peers": 250, "duration": 40.0, "seed": 7},
+        quick_params={"duration": 10.0},
+    ),
+    BenchSpec(
+        name="scalability_1000", family="macro", make=_scalability,
+        params={"n_peers": 1000, "duration": 30.0, "seed": 7},
+        quick_params={"duration": 6.0},
+    ),
+    BenchSpec(
+        name="scalability_2500", family="macro", make=_scalability,
+        params={"n_peers": 2500, "duration": 8.0, "seed": 7},
+        quick=False,
+    ),
+    BenchSpec(
+        name="churn_300", family="macro", make=_churn,
+        params={"n_peers": 300, "duration": 60.0, "seed": 11},
+        quick_params={"duration": 15.0},
+    ),
+    BenchSpec(
+        name="gossip_convergence", family="macro",
+        make=_gossip_convergence,
+        params={"n_domains": 24, "peers_per_domain": 2,
+                "duration": 120.0, "seed": 13},
+        quick_params={"n_domains": 10, "duration": 40.0},
+    ),
+    BenchSpec(
+        name="micro_event_kernel", family="micro", make=_micro_kernel,
+        params={"n_timeouts": 200_000},
+        quick_params={"n_timeouts": 50_000},
+    ),
+    BenchSpec(
+        name="micro_net_send", family="micro", make=_micro_net_send,
+        params={"n_messages": 30_000},
+        quick_params={"n_messages": 8_000},
+    ),
+    BenchSpec(
+        name="micro_mailbox", family="micro", make=_micro_mailbox,
+        params={"n_items": 50_000},
+        quick_params={"n_items": 15_000},
+    ),
+]
+
+
+def select(
+    only: Optional[List[str]] = None, quick: bool = False
+) -> List[BenchSpec]:
+    """The benchmarks a run should execute, in registry order."""
+    specs = [s for s in BENCHES if s.quick or not quick]
+    if only:
+        known = {s.name for s in BENCHES}
+        unknown = [n for n in only if n not in known]
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s): {', '.join(unknown)} "
+                f"(see --list)"
+            )
+        wanted = set(only)
+        specs = [s for s in BENCHES if s.name in wanted]
+    return specs

@@ -159,7 +159,7 @@ class Allocator:
         def prefix_ok(prefix: Sequence[ServiceEdge]) -> bool:
             if not prefix:
                 return True
-            key = tuple(e.edge_id for e in prefix)
+            key = tuple([e.edge_id for e in prefix])
             cached = prefix_cost.get(key)
             if cached is None:
                 parent = prefix_cost.get(key[:-1])
@@ -199,16 +199,18 @@ class Allocator:
         ):
             any_path = True
             n_examined += 1
-            if not self.estimator.feasible(
-                info, net, path, deadline, now,
-                source_peer, sink_peer, in_bytes, prefix=False,
-                work_scale=work_scale,
-            ):
-                continue
+            # Open-coded estimator.feasible(prefix=False) so the path
+            # estimate is computed once and reused as ``est`` (deadline
+            # positivity was checked above; ``budget`` is the same
+            # margin-scaled bound feasible() applies).
             est = self.estimator.estimate_path(
                 info, net, path, now, source_peer, sink_peer, in_bytes,
                 work_scale,
             )
+            if est > budget or self.estimator.path_overloads(
+                info, path, now, deadline, work_scale
+            ):
+                continue
             deltas = self.estimator.path_load_deltas(
                 path, deadline, work_scale
             )

@@ -274,7 +274,12 @@ class RepairCoordinator:
             epoch=session.epoch,
         )
         session.order = order
-        recipients = set(graph.peers()) | {holder}
+        # Deterministic fan-out order (graph first-seen order, holder
+        # appended): iterating a set of str here made the message
+        # sequence — and thus the whole trajectory — depend on
+        # PYTHONHASHSEED, breaking run reproducibility under churn.
+        recipients = dict.fromkeys(graph.peers())
+        recipients.setdefault(holder, None)
         for peer_id in recipients:
             if skip_peer is not None and peer_id == skip_peer:
                 continue

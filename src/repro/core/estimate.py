@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.common.errors import UnknownPeer
 from repro.core.info_base import DomainInfoBase
 from repro.graphs.resource_graph import ServiceEdge
 from repro.net.network import Network
@@ -70,7 +71,9 @@ class CompletionTimeEstimator:
         stream (e.g. a 120 s object on a graph calibrated for 60 s
         streams has ``work_scale == 2``).
         """
-        rec = info.peer(edge.peer_id)
+        rec = info.peers.get(edge.peer_id)
+        if rec is None:
+            raise UnknownPeer(edge.peer_id)
         free = rec.power - info.effective_load(edge.peer_id, now)
         free = max(free, rec.power * self.min_free_frac)
         return edge.work * work_scale / free
@@ -103,12 +106,21 @@ class CompletionTimeEstimator:
         total = 0.0
         prev_peer = source_peer
         carried = in_bytes
+        peers = info.peers
+        min_free_frac = self.min_free_frac
         for edge in path:
-            if not info.has_peer(edge.peer_id):
+            # service_time() inlined with a single roster lookup (the
+            # allocator walks every candidate path through here); keep
+            # the arithmetic identical to service_time.
+            peer_id = edge.peer_id
+            rec = peers.get(peer_id)
+            if rec is None:
                 return float("inf")
-            total += self.transfer_time(net, prev_peer, edge.peer_id, carried)
-            total += self.service_time(info, edge, now, work_scale)
-            prev_peer = edge.peer_id
+            total += self.transfer_time(net, prev_peer, peer_id, carried)
+            free = rec.power - info.effective_load(peer_id, now)
+            free = max(free, rec.power * min_free_frac)
+            total += edge.work * work_scale / free
+            prev_peer = peer_id
             carried = edge.out_bytes * work_scale
         total += self.transfer_time(net, prev_peer, sink_peer, carried)
         return total

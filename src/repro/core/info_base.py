@@ -86,6 +86,15 @@ class DomainInfoBase:
         #: Service graphs of currently executing tasks, by task id (§3.1-7).
         self.service_graphs: Dict[str, ServiceGraph] = {}
         self._projections: Dict[str, List[_Projection]] = {}
+        # Hot-path caches over the projections.  ``_proj_cache`` holds
+        # (delta_sum, earliest_expiry) per peer so effective_load — the
+        # single most-called method in large runs — avoids re-filtering
+        # and re-summing an unchanged projection list; entries are
+        # dropped on any mutation and ignored once ``now`` reaches the
+        # earliest expiry.  ``_task_peers`` indexes task -> peer ids so
+        # release_projection does not scan every peer's list.
+        self._proj_cache: Dict[str, tuple] = {}
+        self._task_peers: Dict[str, Set[str]] = {}
         #: Summaries received from other domains: domain_id -> summary.
         self.remote_summaries: Dict[str, Any] = {}
         #: When each remote summary's content was last received/refreshed
@@ -108,6 +117,7 @@ class DomainInfoBase:
             raise UnknownPeer(peer_id)
         del self.peers[peer_id]
         self._projections.pop(peer_id, None)
+        self._proj_cache.pop(peer_id, None)
         return self.resource_graph.remove_peer(peer_id)
 
     def has_peer(self, peer_id: str) -> bool:
@@ -143,23 +153,46 @@ class DomainInfoBase:
             self._projections.setdefault(peer_id, []).append(
                 _Projection(task_id, peer_id, delta, expires_at)
             )
+            self._proj_cache.pop(peer_id, None)
+            self._task_peers.setdefault(task_id, set()).add(peer_id)
 
     def release_projection(self, task_id: str) -> None:
         """Drop a task's projected load (on completion/failure)."""
-        for plist in self._projections.values():
-            plist[:] = [p for p in plist if p.task_id != task_id]
+        for peer_id in self._task_peers.pop(task_id, ()):
+            plist = self._projections.get(peer_id)
+            if not plist:
+                continue
+            kept = [p for p in plist if p.task_id != task_id]
+            if len(kept) != len(plist):
+                self._projections[peer_id] = kept
+                self._proj_cache.pop(peer_id, None)
 
     def effective_load(self, peer_id: str, now: float) -> float:
         """Reported load plus live projections for *peer_id*."""
-        rec = self.peer(peer_id)
-        load = rec.reported_load
+        # peer() and the reported_load property are inlined: this is the
+        # single most-called method in large runs.
+        rec = self.peers.get(peer_id)
+        if rec is None:
+            raise UnknownPeer(peer_id)
+        report = rec.last_report
+        load = report.load if report is not None else 0.0
         plist = self._projections.get(peer_id)
-        if plist:
-            live = [p for p in plist if p.expires_at > now]
-            if len(live) != len(plist):
-                self._projections[peer_id] = live
-            load += sum(p.delta for p in live)
-        return load
+        if not plist:
+            return load
+        cached = self._proj_cache.get(peer_id)
+        if cached is not None and now < cached[1]:
+            return load + cached[0]
+        live = [p for p in plist if p.expires_at > now]
+        if len(live) != len(plist):
+            self._projections[peer_id] = live
+            if not live:
+                self._proj_cache.pop(peer_id, None)
+                return load
+        total = sum(p.delta for p in live)
+        self._proj_cache[peer_id] = (
+            total, min(p.expires_at for p in live)
+        )
+        return load + total
 
     def load_vector(self, now: float) -> LoadVector:
         """Effective loads of all domain peers (the allocator's view)."""
@@ -173,6 +206,17 @@ class DomainInfoBase:
             pid: self.effective_load(pid, now) / rec.power
             for pid, rec in self.peers.items()
         }
+
+    def mean_utilization(self, now: float) -> float:
+        """Mean of :meth:`utilization_vector` without building the dict
+        (gossip publishes this every period, for every RM)."""
+        peers = self.peers
+        if not peers:
+            return 0.0
+        total = 0.0
+        for pid, rec in peers.items():
+            total += self.effective_load(pid, now) / rec.power
+        return total / len(peers)
 
     # -- objects & services ------------------------------------------------------
     def peers_with_object(self, name: str) -> List[str]:

@@ -142,12 +142,18 @@ class Peer(NetNode):
         """Offer a service type on this peer."""
         self.services[service_id] = spec
 
+    #: Class-wide count of peer deaths.  ``alive`` flips False only in
+    #: :meth:`fail` below, so any cache derived from liveness can use
+    #: this epoch (plus a membership version) as its validity key.
+    _death_epoch = 0
+
     # -- failure & departure ----------------------------------------------------
     def fail(self) -> None:
         """Crash: drop off the network, kill all local work."""
         if not self.alive:
             return
         self.alive = False
+        Peer._death_epoch += 1
         self.connections.close_all()
         self.network.set_down(self.node_id)
         self.processor.stop()

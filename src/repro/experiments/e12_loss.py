@@ -11,7 +11,6 @@ doing the accounting for streams that vanish mid-chain.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.base import ExperimentResult, replicate, seeds_for
 from repro.workloads import (
@@ -28,10 +27,9 @@ def run_once(seed: int, loss: float, duration: float) -> dict:
         population=PopulationConfig(n_peers=14, n_objects=6,
                                     replication=2),
         workload=WorkloadConfig(rate=0.4),
+        loss_rate=loss,
     )
     scenario = build_scenario(cfg)
-    scenario.network.loss_rate = loss
-    scenario.network._loss_rng = np.random.default_rng(seed + 1000)
     summary = scenario.run(duration=duration, drain=60.0)
     return {
         "goodput": summary.goodput,

@@ -56,7 +56,11 @@ class GossipAgent:
     ) -> None:
         self.rm = rm
         self.config = config or GossipConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback: with a fixed seed every agent constructed
+        # without an rng would pick identical gossip targets run after
+        # run, whatever the scenario seed (the overlay plumbs a
+        # per-agent stream derived from the run seed).
+        self.rng = rng if rng is not None else np.random.default_rng()
         #: All summaries this agent holds, by rm id (own included).
         self.summaries: Dict[str, DomainSummary] = {}
         self._last_published: Optional[tuple] = None
@@ -74,8 +78,7 @@ class GossipAgent:
         rm = self.rm
         objects = sorted(rm.info.all_objects())
         services = sorted(rm.info.all_services())
-        utils = rm.info.utilization_vector(rm.env.now)
-        mean_util = sum(utils.values()) / len(utils) if utils else 0.0
+        mean_util = rm.info.mean_utilization(rm.env.now)
         fingerprint = (tuple(objects), tuple(services), rm.info.n_peers)
         current = self.summaries.get(rm.node_id)
         if current is not None and fingerprint == self._last_published:
@@ -100,7 +103,11 @@ class GossipAgent:
             if rm_id == self.rm.node_id:
                 continue
             self.rm.info.remote_summaries[rm_id] = summary
-            self.rm.known_rms.setdefault(rm_id, summary.domain_id)
+            # Overwrite, don't setdefault: a digest may have introduced
+            # this RM under the "?" placeholder; the summary carries the
+            # authoritative domain id and must replace it, otherwise
+            # redirect targeting keeps a bogus domain roster forever.
+            self.rm.known_rms[rm_id] = summary.domain_id
 
     # -- digests --------------------------------------------------------------
     def digest(self) -> Dict[str, int]:
@@ -129,6 +136,12 @@ class GossipAgent:
         for summary in msg.payload["summaries"]:
             held = self.summaries.get(summary.rm_id)
             if summary.newer_than(held):
+                # Copy on receipt: the simulated fabric delivers payload
+                # objects by reference, so without the copy the
+                # publisher's in-place load refresh would time-travel to
+                # remote RMs without a gossip round — diverging from the
+                # live UDP runtime, which serializes every hop.
+                summary = summary.clone()
                 self.summaries[summary.rm_id] = summary
                 # Stamp the receipt so redirect staleness bounds can
                 # distrust load reports that stopped refreshing.
@@ -152,12 +165,15 @@ class GossipAgent:
                     continue
                 k = min(self.config.fanout, len(targets))
                 chosen = self.rng.choice(len(targets), size=k, replace=False)
+                # One digest per round, shared across the fanout —
+                # receivers only read it, and the live runtime
+                # serializes per hop anyway.
+                payload = {"digest": self.digest()}
+                size = protocol.size_of(protocol.GOSSIP_DIGEST)
                 for idx in chosen:
                     rm.send(
-                        protocol.GOSSIP_DIGEST,
-                        targets[int(idx)],
-                        {"digest": self.digest()},
-                        size=protocol.size_of(protocol.GOSSIP_DIGEST),
+                        protocol.GOSSIP_DIGEST, targets[int(idx)],
+                        payload, size=size,
                     )
                 self.rounds += 1
                 tel = telemetry.current()

@@ -174,13 +174,14 @@ class ResourceGraph:
 
     def copy(self) -> "ResourceGraph":
         """Shallow structural copy (edges are immutable, safe to share)."""
+        # Bulk-copy the internal dicts (RM backup sync snapshots the
+        # whole graph every replication period); the adjacency lists are
+        # cloned, the edges themselves shared.
         g = ResourceGraph()
-        for v in self._vertices:
-            g.add_state(v)
-        for e in self._edges.values():
-            g._edges[e.edge_id] = e
-            g._out[e.src].append(e)
-            g._in[e.dst].append(e)
+        g._vertices = dict.fromkeys(self._vertices)
+        g._out = {v: list(es) for v, es in self._out.items()}
+        g._in = {v: list(es) for v, es in self._in.items()}
+        g._edges = dict(self._edges)
         return g
 
     def __repr__(self) -> str:

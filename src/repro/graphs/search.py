@@ -86,10 +86,16 @@ def _bfs_paper(
             yield []
         return
     queue: deque[tuple[Hashable, Path]] = deque([(v_init, [])])
+    popleft = queue.popleft
+    append = queue.append
     visited: set[Hashable] = set()
+    # Read the adjacency dict directly: out_edges() returns a defensive
+    # copy, but this loop only iterates (allocation runs this search for
+    # every admitted task).
+    out = graph._out
     expansions = 0
     while queue:
-        v, seq = queue.popleft()
+        v, seq = popleft()
         if feasible is not None and not feasible(seq):
             continue
         if v == v_sol:
@@ -101,8 +107,8 @@ def _bfs_paper(
         expansions += 1
         if expansions > max_expansions:
             return
-        for edge in graph.out_edges(v):
-            queue.append((edge.dst, seq + [edge]))
+        for edge in out.get(v, ()):
+            append((edge.dst, seq + [edge]))
 
 
 def _dfs_simple(

@@ -9,7 +9,7 @@ from repro import telemetry
 from repro.common.util import EWMA
 from repro.scheduling.processor import Processor
 from repro.sim.core import Environment
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import Event, Interrupt, Timeout
 
 
 @dataclass
@@ -38,7 +38,7 @@ class ServiceObservation:
         self.total_work += work
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadReport:
     """One intra-domain load update (Profiler -> Resource Manager).
 
@@ -136,6 +136,12 @@ class Profiler:
         self._last_bytes = 0.0
         self._bw_rate = EWMA(alpha)
         self.observations: Dict[str, ServiceObservation] = {}
+        # The per-report {service: mean_time} dict is rebuilt only when
+        # an observation landed since the last report; reports between
+        # observations share the snapshot (nobody mutates it — every
+        # serialization path copies).
+        self._services_snapshot: Dict[str, float] = {}
+        self._services_dirty = False
         self.reports_sent = 0
         self._sampler = env.process(
             self._sample_loop(), name=f"profiler-sample:{processor.peer_id}"
@@ -172,9 +178,16 @@ class Profiler:
         if obs is None:
             obs = self.observations[service_id] = ServiceObservation(service_id)
         obs.observe(exec_time, work)
+        self._services_dirty = True
 
     def current_report(self) -> LoadReport:
         """Snapshot the current measurements."""
+        if self._services_dirty:
+            self._services_snapshot = {
+                sid: obs.mean_time
+                for sid, obs in self.observations.items()
+            }
+            self._services_dirty = False
         return LoadReport(
             peer_id=self.processor.peer_id,
             time=self.env.now,
@@ -184,30 +197,44 @@ class Profiler:
             bw_used=self.bw_used,
             queue_work=self.processor.queue_work(),
             queue_length=self.processor.queue_length,
-            services={
-                sid: obs.mean_time for sid, obs in self.observations.items()
-            },
+            services=self._services_snapshot,
         )
 
     # -- processes ---------------------------------------------------------------
     def _sample_loop(self) -> Generator[Event, None, None]:
+        # Collaborators are bound once: one of these loops ticks per
+        # peer for the whole run, and the period/processor/EWMA objects
+        # never change after construction.
+        env = self.env
+        period = self.sample_period
+        busy_now = self.processor.busy_time_now
+        util_update = self._util.update
+        bw_update = self._bw_rate.update
+        last_t = self._last_sample_t
+        last_busy = self._last_busy
+        last_bytes = self._last_bytes
         try:
             while True:
-                yield self.env.timeout(self.sample_period)
-                busy = self.processor.busy_time_now()
-                span = self.env.now - self._last_sample_t
+                yield Timeout(env, period)
+                busy = busy_now()
+                now = env._now
+                span = now - last_t
+                bytes_out = self._bytes_out
                 if span > 0:
-                    self._util.update(
-                        min(1.0, (busy - self._last_busy) / span)
-                    )
-                    self._bw_rate.update(
-                        (self._bytes_out - self._last_bytes) / span
-                    )
-                self._last_sample_t = self.env.now
-                self._last_busy = busy
-                self._last_bytes = self._bytes_out
+                    u = (busy - last_busy) / span
+                    util_update(u if u < 1.0 else 1.0)
+                    bw_update((bytes_out - last_bytes) / span)
+                last_t = now
+                last_busy = busy
+                last_bytes = bytes_out
         except Interrupt:
             return
+        finally:
+            # Mirror the locals back so external introspection (and a
+            # hypothetical restarted loop) sees the latest sample state.
+            self._last_sample_t = last_t
+            self._last_busy = last_busy
+            self._last_bytes = last_bytes
 
     def current_period(self) -> float:
         """The in-force update period (QoS-adaptive when enabled)."""

@@ -50,7 +50,9 @@ class UniformLatency(LatencyModel):
             raise ValueError(f"invalid latency range [{lo}, {hi}]")
         self.lo = float(lo)
         self.hi = float(hi)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback; reproducible jitter requires a
+        # seed-derived rng (build_scenario plumbs one).
+        self.rng = rng if rng is not None else np.random.default_rng()
 
     def sample(self, src: str, dst: str) -> float:
         return float(self.rng.uniform(self.lo, self.hi))
@@ -90,7 +92,16 @@ class DomainAwareLatency(LatencyModel):
         self.intra = float(intra)
         self.inter = float(inter)
         self.jitter = float(jitter)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback; reproducible jitter requires a
+        # seed-derived rng (build_scenario plumbs one).
+        self.rng = rng if rng is not None else np.random.default_rng()
+        # Jitter draws are batched: a numpy Generator produces the exact
+        # same value sequence for one size=N call as for N scalar calls,
+        # so refilling a buffer preserves trajectories bit-for-bit while
+        # amortizing the per-call Generator overhead (sample() runs once
+        # per message).  Assumes ``jitter`` is fixed after construction.
+        self._jit_buf: list = []
+        self._jit_i = 0
 
     def _base(self, src: str, dst: str) -> float:
         ds, dd = self.domain_of(src), self.domain_of(dst)
@@ -99,10 +110,20 @@ class DomainAwareLatency(LatencyModel):
         return self.inter
 
     def sample(self, src: str, dst: str) -> float:
-        base = self._base(src, dst)
-        if self.jitter == 0.0:
+        ds, dd = self.domain_of(src), self.domain_of(dst)
+        base = self.intra if (ds is not None and ds == dd) else self.inter
+        jitter = self.jitter
+        if jitter == 0.0:
             return base
-        return base * (1.0 + float(self.rng.uniform(-self.jitter, self.jitter)))
+        i = self._jit_i
+        buf = self._jit_buf
+        if i >= len(buf):
+            buf = self._jit_buf = self.rng.uniform(
+                -jitter, jitter, size=1024
+            ).tolist()
+            i = 0
+        self._jit_i = i + 1
+        return base * (1.0 + buf[i])
 
     def expected(self, src: str, dst: str) -> float:
         return self._base(src, dst)

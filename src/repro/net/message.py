@@ -34,6 +34,9 @@ def reset_message_ids(start: int = 1) -> None:
     _trace_counter = itertools.count(start)
 
 
+_task_traces: Dict[str, str] = {}
+
+
 def trace_id_for_payload(payload: Dict[str, Any]) -> Optional[str]:
     """Derive the task-trace id a payload belongs to, if any.
 
@@ -46,7 +49,12 @@ def trace_id_for_payload(payload: Dict[str, Any]) -> Optional[str]:
     """
     task_id = payload.get("task_id")
     if isinstance(task_id, str) and task_id:
-        return f"task:{task_id}"
+        # Every message of a task re-derives the same string; memoize
+        # (bounded by the number of distinct tasks in the process).
+        trace = _task_traces.get(task_id)
+        if trace is None:
+            trace = _task_traces[task_id] = f"task:{task_id}"
+        return trace
     order = payload.get("order")
     if order is not None:
         tid = getattr(order, "task_id", None)
@@ -60,7 +68,7 @@ def trace_id_for_payload(payload: Dict[str, Any]) -> Optional[str]:
     return None
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A point-to-point overlay message.
 

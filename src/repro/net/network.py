@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from repro import telemetry
@@ -10,7 +11,7 @@ from repro.common.errors import UnknownPeer
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 from repro.sim.core import Environment
-from repro.sim.events import Event
+from repro.sim.events import NORMAL, Event
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,6 +71,26 @@ class NetworkStats:
         }
 
 
+class _Delivery(Event):
+    """The scheduled arrival of one in-flight message.
+
+    A plain :class:`Event` plus a closure used to play this role; a
+    dedicated subclass carrying the message avoids the per-send lambda
+    and lets the constructor skip the generic-event ceremony (a fresh
+    delivery can never be already-scheduled).
+    """
+
+    __slots__ = ("msg",)
+
+    def __init__(self, network: "Network", msg: Message) -> None:
+        self.env = network.env
+        self.callbacks = [network._on_arrival]
+        self._value = None
+        self._ok = True
+        self._scheduled = False
+        self.msg = msg
+
+
 class Network:
     """Point-to-point message fabric between registered nodes.
 
@@ -112,6 +133,9 @@ class Network:
         self._down: Set[str] = set()
         #: Last scheduled arrival per (src, dst), for FIFO ordering.
         self._last_arrival: Dict[Tuple[str, str], float] = {}
+        # Bound once: every send attaches this callback to its delivery
+        # event, and re-binding the method per message shows up at scale.
+        self._on_arrival = self._handle_arrival
 
     # -- registration ------------------------------------------------------
     def register(self, node: "NetNode") -> None:
@@ -121,9 +145,19 @@ class Network:
         self._nodes[node.node_id] = node
 
     def unregister(self, node_id: str) -> None:
-        """Permanently remove a node (departed peer)."""
+        """Permanently remove a node (departed peer).
+
+        The FIFO floors involving the node are pruned too: without this
+        the per-``(src, dst)`` arrival map grows without bound under
+        churn, and a later peer reusing the id would inherit a stale
+        floor delaying its first messages far into the future.
+        """
         self._nodes.pop(node_id, None)
         self._down.discard(node_id)
+        if self._last_arrival:
+            stale = [k for k in self._last_arrival if node_id in k]
+            for k in stale:
+                del self._last_arrival[k]
 
     def node(self, node_id: str) -> "NetNode":
         """Look up a registered node."""
@@ -184,26 +218,42 @@ class Network:
             tel.metrics.counter("message_bytes_total", kind=msg.kind).inc(
                 msg.size
             )
-        if not self.is_up(msg.src) or not self.is_up(msg.dst):
+        src, dst = msg.src, msg.dst
+        nodes, down = self._nodes, self._down
+        if (src not in nodes or dst not in nodes
+                or src in down or dst in down):
             self._drop(msg)
             return
         if self.loss_rate > 0.0:
             if self._loss_rng is None:
+                # No stream was plumbed in: fall back to OS entropy.  A
+                # fixed fallback seed here would silently give every run
+                # the same loss pattern regardless of the scenario seed;
+                # reproducible loss requires passing ``loss_rng``
+                # (``build_scenario`` derives one from the run seed).
                 import numpy as np
 
-                self._loss_rng = np.random.default_rng(0)
+                self._loss_rng = np.random.default_rng()
             if self._loss_rng.random() < self.loss_rate:
                 self._drop(msg)
                 return
-        delay = self.latency.sample(msg.src, msg.dst) + msg.size / self.bandwidth
-        key = (msg.src, msg.dst)
-        arrival = max(self.env.now + delay, self._last_arrival.get(key, 0.0))
+        env = self.env
+        now = env._now
+        delay = self.latency.sample(src, dst) + msg.size / self.bandwidth
+        key = (src, dst)
+        arrival = now + delay
+        floor = self._last_arrival.get(key)
+        if floor is not None and floor > arrival:
+            arrival = floor
         self._last_arrival[key] = arrival
-        ev = Event(self.env)
-        ev.callbacks.append(lambda _ev, m=msg: self._deliver(m))
-        ev._ok = True
-        ev._value = None
-        self.env.schedule(ev, delay=arrival - self.env.now)
+        # Environment.schedule inlined (one delivery per message): a
+        # fresh _Delivery can never be already-scheduled.  The schedule
+        # time is written as now + (arrival - now), not plain arrival,
+        # to keep the float bits identical to the delay-based API.
+        ev = _Delivery(self, msg)
+        ev._scheduled = True
+        _heappush(env._queue, (now + (arrival - now), NORMAL, env._seq, ev))
+        env._seq += 1
 
     def _drop(self, msg: Message) -> None:
         self.stats.dropped += 1
@@ -211,6 +261,9 @@ class Network:
         if tel.enabled:
             tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="dropped")
             tel.metrics.counter("net_messages_dropped_total").inc()
+
+    def _handle_arrival(self, ev: "Event") -> None:
+        self._deliver(ev.msg)
 
     def _deliver(self, msg: Message) -> None:
         # The destination may have failed while the message was in flight.

@@ -59,7 +59,10 @@ class ChurnProcess:
     ) -> None:
         self.overlay = overlay
         self.config = config or ChurnConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback: a fixed seed here would give every run the
+        # same churn schedule regardless of the scenario seed.  Pass an
+        # rng (build_scenario derives one from the run seed) to reproduce.
+        self.rng = rng if rng is not None else np.random.default_rng()
         #: Optionally rewrites the replacement's spec (new capabilities).
         self.spec_mutator = spec_mutator
         self.departures = 0

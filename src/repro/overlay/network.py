@@ -135,6 +135,10 @@ class OverlayNetwork:
         self.peers: Dict[str, Peer] = {}
         self.domain_of: Dict[str, str] = {}
         self.specs: Dict[str, PeerSpec] = {}
+        #: Bumped on every roster/spec mutation; cheap change detection
+        #: for consumers that cache population-derived aggregates (the
+        #: workload's nominal-deadline constants).
+        self.specs_version = 0
         self.stats = {"joins": 0, "promotions": 0, "join_redirects": 0,
                       "join_rejects": 0}
 
@@ -241,6 +245,7 @@ class OverlayNetwork:
         """
         # Register the spec first: the eligible-list scoring reads it.
         self.specs[spec.peer_id] = spec
+        self.specs_version += 1
         make_eligible = (
             self.enable_backups
             and len(domain.eligible) < self.rm_capable_quota
@@ -325,6 +330,7 @@ class OverlayNetwork:
         self.peers[spec.peer_id] = node
         self.domain_of[spec.peer_id] = rm.domain_id
         self.specs[spec.peer_id] = spec
+        self.specs_version += 1
         rm.admit_peer(spec.record(), objects=spec.objects)
         for name, obj in spec.objects.items():
             node.store_object(obj)
@@ -358,8 +364,14 @@ class OverlayNetwork:
 
     def _forget(self, peer_id: str) -> None:
         self.peers.pop(peer_id, None)
+        # Departed peers never return under the same id (rebirths get a
+        # fresh one), so drop the fabric registration too — this prunes
+        # the per-pair FIFO floors and keeps Network state bounded under
+        # churn.  In-flight traffic to the id still counts as dropped.
+        self.network.unregister(peer_id)
         domain_id = self.domain_of.pop(peer_id, None)
         self.specs.pop(peer_id, None)
+        self.specs_version += 1
         if domain_id is None:
             return
         domain = self.domains.get(domain_id)

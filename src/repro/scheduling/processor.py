@@ -199,16 +199,24 @@ class Processor:
 
     def _run(self) -> Generator[Event, Any, None]:
         env = self.env
+        # power/policy/quantum are set only in __init__ — hoist them
+        # (and the derived flags) out of the dispatch loop.
+        power = self.power
+        ready = self.ready
+        timeout_at = env.timeout
+        preempt_allowed = self.policy.preemptive
+        slice_capped = preempt_allowed and self.policy.time_varying
+        quantum = self.quantum
         try:
             while True:
-                if not self.ready:
+                if not ready:
                     self._wake = Event(env)
                     yield self._wake
                     self._wake = None
                     continue
 
                 job = self._select()
-                self.ready.remove(job)
+                ready.remove(job)
                 self.running = job
                 if job.started_at is None:
                     job.started_at = env.now
@@ -218,18 +226,17 @@ class Processor:
                         # CPU — the quantity LLS schedules on.
                         tel.metrics.histogram(
                             "dispatch_laxity_seconds"
-                        ).observe(job.laxity(env.now, self.power))
+                        ).observe(job.laxity(env.now, power))
                 else:
                     job.preemptions += 1
 
-                slice_len = job.remaining / self.power
-                preempt_allowed = self.policy.preemptive
-                if preempt_allowed and self.policy.time_varying:
-                    slice_len = min(slice_len, self.quantum)
+                slice_len = job.remaining / power
+                if slice_capped and quantum < slice_len:
+                    slice_len = quantum
 
                 self._slice_started = env.now
                 self._wake = Event(env) if preempt_allowed else None
-                timeout = env.timeout(slice_len)
+                timeout = timeout_at(slice_len)
                 if self._wake is not None:
                     yield timeout | self._wake
                 else:
@@ -238,7 +245,7 @@ class Processor:
                 self._slice_started = None
                 self._wake = None
                 self.busy_time += elapsed
-                job.remaining = max(0.0, job.remaining - elapsed * self.power)
+                job.remaining = max(0.0, job.remaining - elapsed * power)
                 self.running = None
 
                 if job.cancelled:

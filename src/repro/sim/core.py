@@ -43,6 +43,8 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Events processed so far (the benchmark harness's work unit).
+        self.n_processed = 0
         #: The process currently being stepped (None outside process code).
         self.active_process: Optional[Process] = None
 
@@ -105,6 +107,7 @@ class Environment:
         """
         time, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = time
+        self.n_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -146,14 +149,41 @@ class Environment:
                     f"until={stop_at} is in the past (now={self._now})"
                 )
 
+        # The hot loop below is step() inlined: one event costs one
+        # heappop plus its callbacks, with the queue and heappop held in
+        # locals (the loop runs a few hundred thousand times per second
+        # of large scenarios, so method/property dispatch per event is
+        # measurable).  Keep any semantic change mirrored in step().
+        queue = self._queue
+        pop = heapq.heappop
+        n = self.n_processed
         try:
-            while self._queue:
-                if stop_at is not None and self.peek() > stop_at:
-                    break
-                self.step()
+            if stop_at is None:
+                while queue:
+                    entry = pop(queue)
+                    self._now = entry[0]
+                    n += 1
+                    event = entry[3]
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
+            else:
+                while queue and queue[0][0] <= stop_at:
+                    entry = pop(queue)
+                    self._now = entry[0]
+                    n += 1
+                    event = entry[3]
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
         except StopSimulation:
             pass
         finally:
+            self.n_processed = n
             if until_event is not None and until_event.callbacks is not None:
                 try:
                     until_event.callbacks.remove(self._stop_callback)

@@ -17,6 +17,7 @@ terminates, carrying the generator's return value (so one process can
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,11 +89,19 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Set the event's value and schedule it at the current time."""
-        if self.triggered:
+        # Environment.schedule inlined (both guards kept): succeed runs
+        # once for nearly every kernel event, so the property dispatch
+        # and extra call frame are measurable at scale.
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
+        if self._scheduled:
+            raise RuntimeError(f"{self!r} is already scheduled")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        self._scheduled = True
+        env = self.env
+        _heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        env._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -140,11 +149,19 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = float(delay)
+        # Flattened Event.__init__ + Environment.schedule: timeouts are
+        # the most-allocated event type by far (every process loop tick
+        # makes one), and a fresh timeout can never be already-scheduled,
+        # so the schedule() guard is dead weight here.  Mirror any
+        # change to the scheduling invariants in both places.
+        self.env = env
+        self.callbacks = []
+        self.delay = delay = float(delay)
         self._ok = True
         self._value = value
-        env.schedule(self, delay=self.delay)
+        self._scheduled = True
+        _heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        env._seq += 1
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -188,7 +205,7 @@ class Process(Event):
     bugs are never silently swallowed.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -200,6 +217,10 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self.generator = generator
+        # Bound once: _step runs for every resume of every process, and
+        # the send/throw attribute lookups add up at scale.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on.
         self._target: Optional[Event] = None
@@ -247,9 +268,9 @@ class Process(Event):
         prev, env.active_process = env.active_process, self
         try:
             if event._ok:
-                result = self.generator.send(event._value)
+                result = self._send(event._value)
             else:
-                result = self.generator.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as stop:
             env.active_process = prev
             self._ok = True
@@ -276,7 +297,7 @@ class Process(Event):
             env.schedule(relay, priority=URGENT)
             self._target = relay
             return
-        if result.processed:
+        if result.callbacks is None:  # i.e. result.processed, inlined
             # The yielded event already fired: resume immediately (next
             # kernel step) with its stored outcome.
             relay = Event(env)

@@ -206,8 +206,29 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Insert *item*; the returned event fires once buffered."""
         ev = StorePut(self, item)
-        self._putters.append(ev)
-        self._dispatch()
+        # Fast path (the overwhelmingly common mailbox case): no queue
+        # ahead of us and room in the buffer — buffer, fire, hand the
+        # item straight to the first matching waiter.  Identical event
+        # ordering to _dispatch, without its rescan loop.
+        if not self._putters and len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            getters = self._getters
+            if getters:
+                # Unfiltered first waiter (every mailbox get): hand over
+                # items[0] directly — the same pairing _serve_getters
+                # would produce, minus its scan machinery.
+                get = getters[0]
+                if get.filter is None:
+                    del getters[0]
+                    get.succeed(self.items.pop(0))
+                    if self.items and getters:
+                        self._serve_getters()
+                else:
+                    self._serve_getters()
+        else:
+            self._putters.append(ev)
+            self._dispatch()
         return ev
 
     def get(
@@ -215,6 +236,24 @@ class Store:
     ) -> StoreGet:
         """Take one item (matching *filter*, if given)."""
         ev = StoreGet(self, filter)
+        # Fast path mirror of put(): nobody queued ahead of us.  Taking
+        # a buffered item may open capacity for a waiting putter, hence
+        # the _dispatch afterwards (which fires strictly later than our
+        # get — the same order _dispatch itself produces).
+        if not self._getters and self.items:
+            if filter is None:
+                ev.succeed(self.items.pop(0))
+                if self._putters:
+                    self._dispatch()
+                return ev
+            idx = self._match(ev)
+            if idx is None:
+                self._getters.append(ev)
+                return ev
+            ev.succeed(self.items.pop(idx))
+            if self._putters:
+                self._dispatch()
+            return ev
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -225,6 +264,19 @@ class Store:
             self._getters.remove(ev)
         except ValueError:
             pass
+
+    def _serve_getters(self) -> None:
+        """One pass of the getter-matching loop (see _dispatch)."""
+        i = 0
+        while i < len(self._getters):
+            get = self._getters[i]
+            idx = self._match(get)
+            if idx is None:
+                i += 1
+                continue
+            item = self.items.pop(idx)
+            self._getters.pop(i)
+            get.succeed(item)
 
     def _dispatch(self) -> None:
         progress = True

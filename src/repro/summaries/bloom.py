@@ -67,7 +67,18 @@ class BloomFilter:
             self.add(item)
 
     def __contains__(self, item: str) -> bool:
-        return bool(all(self.bits[p] for p in self._positions(item)))
+        # Open-coded _positions with early exit: a non-member bails on
+        # its first zero bit (membership probes run on every redirect
+        # decision).
+        digest = hashlib.sha256(item.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        bits = self.bits
+        n_bits = self.n_bits
+        for i in range(self.n_hashes):
+            if not bits[(h1 + i * h2) % n_bits]:
+                return False
+        return True
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise-OR merge (filters must share geometry)."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -56,6 +57,12 @@ class DomainSummary:
             objects=new_obj,
             services=new_srv,
         )
+
+    def clone(self) -> "DomainSummary":
+        """A shallow copy decoupled from the publisher's in-place
+        ``mean_utilization`` refresh.  The Bloom filters are shared:
+        they are immutable once :meth:`rebuild` has produced them."""
+        return dataclasses.replace(self)
 
     def newer_than(self, other: Optional["DomainSummary"]) -> bool:
         """Anti-entropy ordering: is this summary fresher?"""

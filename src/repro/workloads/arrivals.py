@@ -7,6 +7,7 @@ from typing import Any, Generator, List, Optional
 
 import numpy as np
 
+from repro.core.peer import Peer
 from repro.media.objects import MediaObject
 from repro.net.node import RPCError
 from repro.overlay.network import OverlayNetwork
@@ -57,9 +58,19 @@ class TaskArrivalProcess:
         self.catalog = catalog
         self.objects = list(objects)
         self.config = config or WorkloadConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Unseeded fallback; reproducible arrivals require plumbing a
+        # seed-derived rng (build_scenario does).
+        self.rng = rng if rng is not None else np.random.default_rng()
         self._zipf_probs = self._make_zipf(len(self.objects))
         self._goals_cache: dict = {}
+        # nominal_deadline's population aggregates, keyed on the
+        # overlay's specs_version (recomputed only when the population
+        # actually changed — it runs once per arrival otherwise).
+        self._nominal_const: Optional[tuple] = None
+        # _pick_origin's live-peer roster, keyed on (specs_version,
+        # membership size, Peer._death_epoch) — see _pick_origin.
+        self._live_key: Optional[tuple] = None
+        self._live_peers: List[Any] = []
         self.n_generated = 0
         self.n_submit_failures = 0
         #: Optional hook called with a TraceEntry per generated request
@@ -89,7 +100,23 @@ class TaskArrivalProcess:
         return goals[int(self.rng.integers(len(goals)))]
 
     def _pick_origin(self) -> Optional[Any]:
-        live = [p for p in self.overlay.peers.values() if p.alive]
+        # Scanning every peer per arrival dominates at 1000+ peers, so
+        # the live roster is cached.  The key is exhaustive: ``alive``
+        # flips False only inside Peer.fail (which bumps _death_epoch),
+        # peers appear only via overlay adds (specs_version bump), and
+        # membership/order changes move specs_version or the size — so
+        # an unchanged key means the fresh listcomp would yield exactly
+        # this list, preserving RNG draw parity.
+        overlay = self.overlay
+        key = (
+            overlay.specs_version, len(overlay.peers), Peer._death_epoch,
+        )
+        if key != self._live_key:
+            self._live_peers = [
+                p for p in overlay.peers.values() if p.alive
+            ]
+            self._live_key = key
+        live = self._live_peers
         if not live:
             return None
         return live[int(self.rng.integers(len(live)))]
@@ -100,16 +127,22 @@ class TaskArrivalProcess:
         nominal = source transfer + 2 conversions at the mean power +
         result transfer, all at tier-median bandwidth.
         """
-        bw = float(np.median(self.overlay.network.bandwidth))
-        mean_power = np.mean(
-            [s.power for s in self.overlay.specs.values()]
-        ) if self.overlay.specs else 10.0
-        mean_work = np.mean(
-            [
-                self.catalog.work_of(a, b)
-                for a, b in self.catalog.conversions()[:16]
-            ]
-        )
+        const = self._nominal_const
+        if const is None or const[0] != self.overlay.specs_version:
+            bw = float(np.median(self.overlay.network.bandwidth))
+            mean_power = np.mean(
+                [s.power for s in self.overlay.specs.values()]
+            ) if self.overlay.specs else 10.0
+            mean_work = np.mean(
+                [
+                    self.catalog.work_of(a, b)
+                    for a, b in self.catalog.conversions()[:16]
+                ]
+            )
+            const = self._nominal_const = (
+                self.overlay.specs_version, bw, mean_power, mean_work
+            )
+        _, bw, mean_power, mean_work = const
         scale = obj.duration_s / self.catalog.canonical_duration
         nominal = (
             obj.size_bytes / bw
@@ -122,11 +155,12 @@ class TaskArrivalProcess:
     def _loop(self) -> Generator[Event, Any, None]:
         env = self.overlay.env
         cfg = self.config
+        mean_gap = 1.0 / cfg.rate
+        exponential = self.rng.exponential
+        timeout = env.timeout
         try:
             while True:
-                yield env.timeout(
-                    float(self.rng.exponential(1.0 / cfg.rate))
-                )
+                yield timeout(float(exponential(mean_gap)))
                 if cfg.stop_at is not None and env.now >= cfg.stop_at:
                     return
                 origin = self._pick_origin()

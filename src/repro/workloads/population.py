@@ -130,13 +130,17 @@ def generate_specs(
             assignments[i]
         ) else assignments[i]
 
-    # Replicate objects across random peers.
+    # Replicate objects across random peers.  The inverse index
+    # (peer -> object indices, ascending) avoids the quadratic
+    # peers x objects membership scan when building each spec.
     object_homes: Dict[int, List[int]] = {}
+    peer_objects: Dict[int, List[int]] = {}
     for oi in range(len(objects)):
         k = min(cfg.replication, cfg.n_peers)
-        object_homes[oi] = list(
-            rng.choice(cfg.n_peers, size=k, replace=False)
-        )
+        homes = list(rng.choice(cfg.n_peers, size=k, replace=False))
+        object_homes[oi] = homes
+        for home in homes:
+            peer_objects.setdefault(int(home), []).append(oi)
 
     specs: List[PeerSpec] = []
     for i in range(cfg.n_peers):
@@ -154,8 +158,7 @@ def generate_specs(
             )
         own_objects = {
             objects[oi].name: objects[oi]
-            for oi, homes in object_homes.items()
-            if i in homes
+            for oi in peer_objects.get(i, ())
         }
         specs.append(
             PeerSpec(

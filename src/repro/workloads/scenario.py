@@ -62,6 +62,10 @@ class ScenarioConfig:
     latency_jitter: float = 0.3
     #: Link bandwidth, bytes/second.
     bandwidth: float = 1.25e6
+    #: Per-message loss probability on the fabric; the loss pattern is
+    #: drawn from the run seed's "loss" stream, so two seeds produce
+    #: different drop patterns and one seed reproduces exactly.
+    loss_rate: float = 0.0
     #: Fairness/utilization sampling period for metrics.
     metrics_period: float = 1.0
     #: Enable structured tracing (costs memory on long runs).
@@ -118,6 +122,8 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         env,
         latency=None,  # replaced just below, after overlay exists
         bandwidth=cfg.bandwidth,
+        loss_rate=cfg.loss_rate,
+        loss_rng=streams.get("loss"),
         tracer=tracer,
     )
     metrics = MetricsCollector(env)

@@ -1,0 +1,206 @@
+"""The repro-bench harness: measurement, report schema, regression gate."""
+
+import json
+
+import pytest
+
+from repro.benchmarking import cli
+from repro.benchmarking.harness import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    PhaseTimer,
+    Regression,
+    find_regressions,
+    load_report,
+    report_document,
+    run_benchmark,
+    write_report,
+)
+from repro.benchmarking.scenarios import BENCHES, select
+
+
+def _toy_bench(counter):
+    def fn():
+        counter["calls"] += 1
+        return {
+            "events": 1000,
+            "phases": {"build": 0.001, "run": 0.002},
+            "metrics": {"widgets": 7},
+        }
+
+    return fn
+
+
+class TestRunBenchmark:
+    def test_warmup_and_repeat_accounting(self):
+        counter = {"calls": 0}
+        rec = run_benchmark("toy", _toy_bench(counter), warmup=2, repeat=3)
+        assert counter["calls"] == 5
+        assert rec.warmup == 2
+        assert rec.repeat == 3
+
+    def test_statistics_shape(self):
+        rec = run_benchmark("toy", _toy_bench({"calls": 0}), warmup=0,
+                            repeat=3)
+        assert rec.events == 1000
+        assert set(rec.wall_s) == {"mean", "min", "max", "stdev"}
+        assert rec.wall_s["min"] <= rec.wall_s["mean"] <= rec.wall_s["max"]
+        # Throughput uses the best (minimum) wall sample.
+        assert rec.events_per_sec == pytest.approx(
+            rec.events / rec.wall_s["min"]
+        )
+        assert rec.peak_rss_kb > 0
+        assert rec.metrics == {"widgets": 7}
+        assert rec.phases == {"build": 0.001, "run": 0.002}
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_benchmark("toy", _toy_bench({"calls": 0}), repeat=0)
+
+    def test_single_repeat_has_zero_stdev(self):
+        rec = run_benchmark("toy", _toy_bench({"calls": 0}), warmup=0,
+                            repeat=1)
+        assert rec.wall_s["stdev"] == 0.0
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.phases) == {"a", "b"}
+        assert timer.phases["a"] >= 0.0
+
+
+class TestReportRoundTrip:
+    def _record(self, name="toy", eps=123.0):
+        return BenchRecord(
+            name=name, params={"n": 1}, warmup=1, repeat=2,
+            wall_s={"mean": 1.0, "min": 1.0, "max": 1.0, "stdev": 0.0},
+            events=123, events_per_sec=eps, peak_rss_kb=100,
+        )
+
+    def test_write_then_load(self, tmp_path):
+        doc = report_document([self._record()], mode="full",
+                              bench_id="BENCH_T")
+        path = tmp_path / "bench.json"
+        write_report(str(path), doc)
+        loaded = load_report(str(path))
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["bench_id"] == "BENCH_T"
+        assert loaded["mode"] == "full"
+        assert loaded["results"][0]["name"] == "toy"
+        assert loaded["results"][0]["events_per_sec"] == 123.0
+
+    def test_unsupported_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999, "results": []}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_report(str(path))
+
+    def test_regression_gate(self):
+        baseline = {
+            "schema_version": SCHEMA_VERSION,
+            "results": [
+                {"name": "fast", "events_per_sec": 1000.0},
+                {"name": "steady", "events_per_sec": 1000.0},
+                {"name": "gone", "events_per_sec": 1000.0},
+            ],
+        }
+        current = [
+            self._record("fast", eps=500.0),     # 50% slower -> flagged
+            self._record("steady", eps=900.0),   # 10% slower -> ok
+            self._record("new", eps=1.0),        # not in baseline -> skip
+        ]
+        regs = find_regressions(baseline, current, gate_pct=25.0)
+        assert [r.name for r in regs] == ["fast"]
+        assert regs[0].slowdown_pct == pytest.approx(50.0)
+
+    def test_regression_slowdown_pct_guards_zero_baseline(self):
+        assert Regression("x", 0.0, 10.0).slowdown_pct == 0.0
+
+
+class TestSelect:
+    def test_default_returns_all(self):
+        assert [s.name for s in select()] == [s.name for s in BENCHES]
+
+    def test_quick_skips_heavy_rungs(self):
+        names = {s.name for s in select(quick=True)}
+        assert "scalability_2500" not in names
+        assert "scalability_250" in names
+
+    def test_only_filters_in_registry_order(self):
+        names = [
+            s.name
+            for s in select(only=["micro_mailbox", "scalability_250"])
+        ]
+        assert names == ["scalability_250", "micro_mailbox"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no_such_bench"):
+            select(only=["no_such_bench"])
+
+    def test_quick_params_change_effective_params(self):
+        spec = next(s for s in BENCHES if s.name == "micro_mailbox")
+        full = spec.effective_params(quick=False)
+        quick = spec.effective_params(quick=True)
+        assert quick["n_items"] < full["n_items"]
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scalability_1000" in out
+
+    def test_unknown_bench_exits_two(self, capsys):
+        assert cli.main(["--only", "nope", "--out", "-"]) == 2
+
+    def test_micro_quick_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = cli.main([
+            "--quick", "--only", "micro_mailbox", "--out", str(out),
+            "--warmup", "0", "--repeat", "1", "--bench-id", "BENCH_T",
+        ])
+        assert rc == 0
+        doc = load_report(str(out))
+        assert doc["bench_id"] == "BENCH_T"
+        assert doc["mode"] == "quick"
+        (rec,) = doc["results"]
+        assert rec["name"] == "micro_mailbox"
+        assert rec["events"] > 0
+        assert rec["events_per_sec"] > 0
+
+    def test_baseline_gate_fails_on_regression(self, tmp_path, capsys):
+        # A baseline with an absurdly high events/sec forces the gate
+        # to trip without a second (slow) benchmark run.
+        base = {
+            "schema_version": SCHEMA_VERSION,
+            "bench_id": "BENCH_T",
+            "mode": "quick",
+            "results": [
+                {"name": "micro_mailbox", "events_per_sec": 1e15},
+            ],
+        }
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        rc = cli.main([
+            "--quick", "--only", "micro_mailbox", "--out", "-",
+            "--warmup", "0", "--repeat", "1",
+            "--baseline", str(base_path),
+        ])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_baseline_is_a_clean_error(self, tmp_path, capsys):
+        rc = cli.main([
+            "--quick", "--only", "micro_mailbox", "--out", "-",
+            "--warmup", "0", "--repeat", "1",
+            "--baseline", str(tmp_path / "does_not_exist.json"),
+        ])
+        assert rc == 2
+        assert "baseline file not found" in capsys.readouterr().err

@@ -89,6 +89,61 @@ class TestGossipConvergence:
         assert agent.summaries["p0"].version == v
 
 
+class TestGossipRosterAndParity:
+    def test_digest_placeholder_domain_overwritten_by_summary(self):
+        """Regression: an RM first seen in a digest is recorded under the
+        "?" placeholder; the real domain id must replace it once that
+        RM's summary arrives (redirect targeting reads this roster)."""
+        from repro.core import protocol
+        from repro.net import Message
+        from repro.summaries.domain_summary import DomainSummary
+
+        env = Environment()
+        overlay = build_overlay(env, max_peers=4)
+        overlay.join(spec("p0"))
+        env.run(until=2.0)
+        agent = next(iter(overlay.domains.values())).gossip
+        digest = Message(
+            kind=protocol.GOSSIP_DIGEST, src="rmX", dst="p0",
+            payload={"digest": {"rmX": 3}}, size=64.0,
+        )
+        agent._handle_digest(digest)
+        assert agent.rm.known_rms["rmX"] == "?"
+        summaries = Message(
+            kind=protocol.GOSSIP_SUMMARIES, src="rmX", dst="p0",
+            payload={"summaries": [
+                DomainSummary(domain_id="d9", rm_id="rmX", version=3)
+            ]},
+            size=64.0,
+        )
+        agent._handle_summaries(summaries)
+        assert agent.rm.known_rms["rmX"] == "d9"
+        assert "rmX" in agent.rm.info.remote_summaries
+
+    def test_received_summary_is_a_copy(self):
+        """Sim/live parity regression: the simulated fabric hands payload
+        objects over by reference, while the UDP runtime serializes every
+        hop.  A receiver must therefore hold a *copy*, or the publisher's
+        in-place ``mean_utilization`` refresh time-travels current load
+        to remote RMs without any gossip round."""
+        env = Environment()
+        overlay = build_overlay(env, max_peers=2)
+        for i in range(4):  # 2 domains of 2
+            overlay.join(spec(f"p{i}"))
+        assert overlay.n_domains == 2
+        env.run(until=30.0)
+        agents = [d.gossip for d in overlay.domains.values()]
+        a, b = agents
+        a_id = a.rm.node_id
+        held_by_b = b.summaries[a_id]
+        assert held_by_b is not a.summaries[a_id]
+        # The publisher's no-version-bump load refresh stays local.
+        a.summaries[a_id].mean_utilization = 123.0
+        assert held_by_b.mean_utilization != 123.0
+        # The RM's redirect view is backed by the receiver's copy too.
+        assert b.rm.info.remote_summaries[a_id] is held_by_b
+
+
 class TestFailover:
     def build_domain_with_backup(self, env):
         overlay = build_overlay(env, max_peers=8, enable_gossip=False)
@@ -226,3 +281,53 @@ class TestChurn:
         env.run(until=100.0)
         assert churn.rejoins == 0
         assert overlay.n_peers < 6
+
+
+class TestTrajectoryDeterminism:
+    """A run must be a pure function of (config, seed) — in particular
+    independent of PYTHONHASHSEED.  The repair fan-out used to iterate a
+    ``set`` of peer ids, so the COMPOSE send order (and from there the
+    whole trajectory) varied run to run under churn."""
+
+    _SCRIPT = """
+from repro.core.manager import RMConfig
+from repro.overlay import ChurnConfig
+from repro.workloads import (
+    PopulationConfig, ScenarioConfig, WorkloadConfig, build_scenario,
+)
+
+cfg = ScenarioConfig(
+    seed=11,
+    population=PopulationConfig(n_peers=60, n_objects=30, replication=3),
+    workload=WorkloadConfig(rate=1.5),
+    rm=RMConfig(max_peers=16),
+    churn=ChurnConfig(mean_lifetime=8.0, mean_offtime=2.0),
+)
+scenario = build_scenario(cfg)
+scenario.env.run(until=scenario.env.now + 40.0)
+print(scenario.env.n_processed, scenario.network.stats.sent,
+      scenario.churn.departures, scenario.churn.rejoins)
+"""
+
+    def test_trajectory_independent_of_hash_seed(self):
+        import os
+        import subprocess
+        import sys
+
+        outputs = []
+        for hash_seed in ("101", "202"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env.setdefault("PYTHONPATH", "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", self._SCRIPT],
+                capture_output=True, text=True, env=env, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout.strip())
+        events, messages, departures, _ = outputs[0].split()
+        assert int(departures) > 0, "scenario never exercised churn/repair"
+        assert outputs[0] == outputs[1], (
+            f"trajectory depends on PYTHONHASHSEED: "
+            f"{outputs[0]!r} != {outputs[1]!r}"
+        )

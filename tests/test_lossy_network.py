@@ -13,6 +13,48 @@ from repro.workloads import (
 )
 
 
+class TestLossSeedPlumbing:
+    """Regression: the loss pattern must follow the run seed."""
+
+    @staticmethod
+    def _drop_pattern(seed: int) -> tuple:
+        from repro.sim import RandomStreams
+
+        env = Environment()
+        net = Network(
+            env, ConstantLatency(0.001), bandwidth=1e9,
+            loss_rate=0.4, loss_rng=RandomStreams(seed).get("loss"),
+        )
+        a, b = NetNode(env, net, "a"), NetNode(env, net, "b")
+        arrived = []
+        b.on("m", lambda msg: arrived.append(msg.payload["i"]))
+        for i in range(300):
+            a.send("m", "b", {"i": i})
+        env.run()
+        return tuple(arrived)
+
+    def test_two_seeds_produce_different_loss_patterns(self):
+        assert self._drop_pattern(1) != self._drop_pattern(2)
+
+    def test_same_seed_reproduces_the_loss_pattern(self):
+        assert self._drop_pattern(1) == self._drop_pattern(1)
+
+    def test_build_scenario_plumbs_seeded_loss_stream(self):
+        def first_draws(seed):
+            cfg = ScenarioConfig(
+                seed=seed, loss_rate=0.05,
+                population=PopulationConfig(n_peers=6, n_objects=4),
+                workload=WorkloadConfig(rate=0.2),
+            )
+            scenario = build_scenario(cfg)
+            assert scenario.network.loss_rate == pytest.approx(0.05)
+            assert scenario.network._loss_rng is not None
+            return scenario.network._loss_rng.random(8).tolist()
+
+        assert first_draws(1) == first_draws(1)
+        assert first_draws(1) != first_draws(2)
+
+
 class TestLossModel:
     def test_loss_rate_validation(self):
         env = Environment()

@@ -190,3 +190,62 @@ class TestExpectedDelay:
     def test_matches_model_plus_transmission(self, env):
         net = Network(env, ConstantLatency(0.1), bandwidth=1000.0)
         assert net.expected_delay("a", "b", size=100.0) == pytest.approx(0.2)
+
+
+class TestFifoFloorPruning:
+    """Regression: ``_last_arrival`` must not outlive its nodes."""
+
+    def test_unregister_prunes_last_arrival(self, env):
+        net, a, b = make_pair(env)
+        b.on("m", lambda msg: None)
+        a.send("m", "b")
+        a.send("m", "a")  # self-send keeps an (a, a) entry alive
+        env.run()
+        assert ("a", "b") in net._last_arrival
+        net.unregister("b")
+        assert all("b" not in k for k in net._last_arrival)
+        assert ("a", "a") in net._last_arrival  # unrelated pairs survive
+
+    def test_rejoin_same_id_gets_fresh_fifo_floor(self, env):
+        """A reused id must not inherit the departed peer's FIFO floor."""
+        net = Network(env, ConstantLatency(0.0), bandwidth=1000.0)
+        a = NetNode(env, net, "a")
+        b = NetNode(env, net, "b")
+        b.on("m", lambda msg: None)
+        a.send("m", "b", size=100_000.0)  # arrival floored at t=100
+        net.unregister("b")
+        b2 = NetNode(env, net, "b")
+        got = []
+        b2.on("m", lambda msg: got.append(env.now))
+        a.send("m", "b", size=1000.0)  # 1s transmission, no stale floor
+        env.run()
+        assert got and got[0] == pytest.approx(1.0)
+
+    def test_churned_overlay_keeps_fabric_state_bounded(self):
+        from repro.core.manager import RMConfig
+        from repro.overlay import ChurnConfig, ChurnProcess, OverlayNetwork, PeerSpec
+        from repro.sim import RandomStreams
+
+        env = Environment()
+        net = Network(env, ConstantLatency(0.005), bandwidth=1e7)
+        overlay = OverlayNetwork(
+            env, net, rm_config=RMConfig(max_peers=20),
+            enable_gossip=False, streams=RandomStreams(0),
+        )
+        for i in range(10):
+            overlay.join(PeerSpec(peer_id=f"p{i}", power=10.0,
+                                  bandwidth=2e6, uptime=0.9))
+        churn = ChurnProcess(
+            overlay,
+            ChurnConfig(mean_lifetime=5.0, mean_offtime=1.0),
+            rng=__import__("numpy").random.default_rng(4),
+        )
+        churn.watch_all()
+        env.run(until=120.0)
+        assert churn.departures > 0
+        # Every departed peer has left the fabric: node registry and the
+        # FIFO floor map only reference currently registered ids.
+        registered = set(net.node_ids)
+        assert registered == set(overlay.peers)
+        for src, dst in net._last_arrival:
+            assert src in registered and dst in registered
