@@ -87,7 +87,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="max tolerated events/sec drop vs baseline, percent "
              "(default 25)",
     )
+    parser.add_argument(
+        "--sample", action="store_true",
+        help="attach sampled health series to macro benchmark reports; "
+        "the sampler adds kernel events, so sampled runs cannot be "
+        "gated against an unsampled --baseline",
+    )
     args = parser.parse_args(argv)
+    if args.sample and args.baseline:
+        parser.error(
+            "--sample changes event counts; gate against a sampled "
+            "baseline or drop --baseline"
+        )
 
     if args.list_benches:
         for spec in BENCHES:
@@ -118,7 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"running {spec.name} {params} "
               f"(warmup={warmup}, repeat={repeat}) ...", flush=True)
         record = harness.run_benchmark(
-            spec.name, spec.build(quick=args.quick),
+            spec.name, spec.build(quick=args.quick, sample=args.sample),
             params=params, warmup=warmup, repeat=repeat,
         )
         records.append(record)

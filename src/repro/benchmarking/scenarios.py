@@ -38,11 +38,17 @@ class BenchSpec:
     quick_params: Dict[str, Any] = field(default_factory=dict)
     #: Excluded from ``--quick`` runs entirely when False.
     quick: bool = True
+    #: Accepts ``sample=True`` to attach health series to its metrics.
+    supports_sample: bool = False
 
-    def build(self, quick: bool = False) -> Callable[[], Dict[str, Any]]:
+    def build(
+        self, quick: bool = False, sample: bool = False
+    ) -> Callable[[], Dict[str, Any]]:
         params = dict(self.params)
         if quick:
             params.update(self.quick_params)
+        if sample and self.supports_sample:
+            params["sample"] = True
         return self.make(**params)
 
     def effective_params(self, quick: bool = False) -> Dict[str, Any]:
@@ -54,7 +60,33 @@ class BenchSpec:
 
 # -- macro scenarios ---------------------------------------------------------
 
-def _scalability(n_peers: int, duration: float, seed: int) -> Callable:
+def _sampled_run(scenario, duration: float, timer: PhaseTimer):
+    """Run *scenario* with a sim-time health sampler attached.
+
+    Opt-in only (``repro-bench --sample``): the sampler Process adds
+    kernel events, so sampled runs are not comparable with unsampled
+    baselines — the CLI refuses to gate them.
+    """
+    from repro import telemetry
+    from repro.telemetry.timeseries import HealthSampler, overlay_probes
+
+    with telemetry.session(
+        telemetry.Telemetry.sim(scenario.env)
+    ) as tel:
+        sampler = HealthSampler(tel, period=1.0)
+        for probe in overlay_probes(
+            scenario.overlay, scenario.network, per_peer=False
+        ):
+            sampler.add_probe(probe)
+        sampler.attach_sim(scenario.env)
+        with timer.phase("run"):
+            scenario.env.run(until=scenario.env.now + duration)
+    return sampler.records()
+
+
+def _scalability(
+    n_peers: int, duration: float, seed: int, sample: bool = False
+) -> Callable:
     """e4-style ladder rung: constant per-peer load, bounded domains."""
 
     def fn() -> Dict[str, Any]:
@@ -79,23 +111,30 @@ def _scalability(n_peers: int, duration: float, seed: int) -> Callable:
         )
         with timer.phase("build"):
             scenario = build_scenario(cfg)
-        with timer.phase("run"):
-            scenario.env.run(until=scenario.env.now + duration)
+        metrics: Dict[str, Any] = {}
+        if sample:
+            metrics["series"] = _sampled_run(scenario, duration, timer)
+        else:
+            with timer.phase("run"):
+                scenario.env.run(until=scenario.env.now + duration)
+        metrics.update({
+            "domains": scenario.overlay.n_domains,
+            "peers_joined": scenario.overlay.n_peers,
+            "messages": scenario.network.stats.sent,
+            "sim_duration": duration,
+        })
         return {
             "events": scenario.env.n_processed,
             "phases": timer.phases,
-            "metrics": {
-                "domains": scenario.overlay.n_domains,
-                "peers_joined": scenario.overlay.n_peers,
-                "messages": scenario.network.stats.sent,
-                "sim_duration": duration,
-            },
+            "metrics": metrics,
         }
 
     return fn
 
 
-def _churn(n_peers: int, duration: float, seed: int) -> Callable:
+def _churn(
+    n_peers: int, duration: float, seed: int, sample: bool = False
+) -> Callable:
     """A churning overlay: joins/leaves/failovers dominate."""
 
     def fn() -> Dict[str, Any]:
@@ -122,16 +161,21 @@ def _churn(n_peers: int, duration: float, seed: int) -> Callable:
         )
         with timer.phase("build"):
             scenario = build_scenario(cfg)
-        with timer.phase("run"):
-            scenario.env.run(until=scenario.env.now + duration)
+        metrics: Dict[str, Any] = {}
+        if sample:
+            metrics["series"] = _sampled_run(scenario, duration, timer)
+        else:
+            with timer.phase("run"):
+                scenario.env.run(until=scenario.env.now + duration)
+        metrics.update({
+            "departures": scenario.churn.departures,
+            "rejoins": scenario.churn.rejoins,
+            "messages": scenario.network.stats.sent,
+        })
         return {
             "events": scenario.env.n_processed,
             "phases": timer.phases,
-            "metrics": {
-                "departures": scenario.churn.departures,
-                "rejoins": scenario.churn.rejoins,
-                "messages": scenario.network.stats.sent,
-            },
+            "metrics": metrics,
         }
 
     return fn
@@ -265,21 +309,25 @@ BENCHES: List[BenchSpec] = [
         name="scalability_250", family="macro", make=_scalability,
         params={"n_peers": 250, "duration": 40.0, "seed": 7},
         quick_params={"duration": 10.0},
+        supports_sample=True,
     ),
     BenchSpec(
         name="scalability_1000", family="macro", make=_scalability,
         params={"n_peers": 1000, "duration": 30.0, "seed": 7},
         quick_params={"duration": 6.0},
+        supports_sample=True,
     ),
     BenchSpec(
         name="scalability_2500", family="macro", make=_scalability,
         params={"n_peers": 2500, "duration": 8.0, "seed": 7},
         quick=False,
+        supports_sample=True,
     ),
     BenchSpec(
         name="churn_300", family="macro", make=_churn,
         params={"n_peers": 300, "duration": 60.0, "seed": 11},
         quick_params={"duration": 15.0},
+        supports_sample=True,
     ),
     BenchSpec(
         name="gossip_convergence", family="macro",

@@ -38,11 +38,13 @@ def emit_task_event(
                 origin=task.origin_peer, deadline=task.qos.deadline,
                 importance=task.qos.importance,
             )
-            tel.metrics.counter("tasks_submitted_total").inc()
+            tel.metrics.counter("repro_rm_tasks_submitted_total").inc()
         elif event in TERMINAL_EVENTS:
             outcome = task.outcome.value if task.outcome else None
             tel.tracer.end_span_key(trace_id, status=event, outcome=outcome)
-            tel.metrics.counter("tasks_finished_total", event=event).inc()
+            tel.metrics.counter(
+                "repro_rm_tasks_finished_total", event=event
+            ).inc()
         else:
             span = tel.tracer.open_span(trace_id)
             tel.tracer.event(

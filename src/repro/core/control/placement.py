@@ -235,7 +235,7 @@ class PlacementEngine:
                 n_candidates=result.n_candidates,
             )
             tel.metrics.counter(
-                "placement_decisions_total",
+                "repro_rm_placement_decisions_total",
                 policy=self.policy.name,
                 phase=phase,
             ).inc()

@@ -374,7 +374,7 @@ class Peer(NetNode):
             )
             tel.tracer.end_span(span, status="ok", queued=wait)
             tel.metrics.histogram(
-                "service_time_seconds", service=step.service_id
+                "repro_sched_service_time_seconds", service=step.service_id
             ).observe(exec_time)
         self.profiler.observe_service(step.service_id, exec_time, step.work)
         current = self._orders.get(order.task_id)

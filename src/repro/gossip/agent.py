@@ -182,7 +182,7 @@ class GossipAgent:
                         "gossip.round", node=rm.node_id, fanout=k,
                         round=self.rounds,
                     )
-                    tel.metrics.counter("gossip_rounds_total").inc()
+                    tel.metrics.counter("repro_gossip_rounds_total").inc()
         except Interrupt:
             return
 

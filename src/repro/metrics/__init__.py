@@ -12,16 +12,20 @@ import warnings
 from repro.results import MetricsCollector, RunSummary, TimeSeries
 from repro.results import collector, timeseries
 
-warnings.warn(
-    "repro.metrics has been renamed to repro.results; "
-    "update imports (repro.metrics will be removed in a future release)",
-    DeprecationWarning,
-    stacklevel=2,
-)
-
 # Legacy submodule paths (repro.metrics.collector, .timeseries) resolve
 # to the relocated modules.
 sys.modules[__name__ + ".collector"] = collector
 sys.modules[__name__ + ".timeseries"] = timeseries
 
 __all__ = ["MetricsCollector", "RunSummary", "TimeSeries"]
+
+# Warn last: under ``-W error::DeprecationWarning`` the warning raises,
+# and everything above must already be registered so a caller that
+# catches the error (or a later retry of the import) sees a consistent
+# module, not a half-initialized one.
+warnings.warn(
+    "repro.metrics has been renamed to repro.results; "
+    "update imports (repro.metrics will be removed in a future release)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -261,10 +261,11 @@ class Profiler:
                             queue_length=report.queue_length,
                         )
                         tel.metrics.gauge(
-                            "peer_utilization", peer=report.peer_id
+                            "repro_profiler_peer_utilization",
+                            peer=report.peer_id,
                         ).set(report.utilization)
                         tel.metrics.counter(
-                            "profiler_reports_total"
+                            "repro_profiler_reports_total"
                         ).inc()
         except Interrupt:
             return

@@ -214,10 +214,10 @@ class Network:
                 trace_id=msg.trace_id, key=f"msg:{msg.msg_id}",
                 dst=msg.dst, msg_id=msg.msg_id, size=msg.size,
             )
-            tel.metrics.counter("net_messages_sent_total").inc()
-            tel.metrics.counter("message_bytes_total", kind=msg.kind).inc(
-                msg.size
-            )
+            tel.metrics.counter("repro_net_messages_sent_total").inc()
+            tel.metrics.counter(
+                "repro_net_message_bytes_total", kind=msg.kind
+            ).inc(msg.size)
         src, dst = msg.src, msg.dst
         nodes, down = self._nodes, self._down
         if (src not in nodes or dst not in nodes
@@ -260,7 +260,7 @@ class Network:
         tel = telemetry.current()
         if tel.enabled:
             tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="dropped")
-            tel.metrics.counter("net_messages_dropped_total").inc()
+            tel.metrics.counter("repro_net_messages_dropped_total").inc()
 
     def _handle_arrival(self, ev: "Event") -> None:
         self._deliver(ev.msg)
@@ -279,7 +279,7 @@ class Network:
         tel = telemetry.current()
         if tel.enabled:
             tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="ok")
-            tel.metrics.counter("net_messages_delivered_total").inc()
+            tel.metrics.counter("repro_net_messages_delivered_total").inc()
         self._nodes[msg.dst].mailbox.put(msg)
 
     def expected_delay(self, src: str, dst: str, size: float = 512.0) -> float:

@@ -116,7 +116,7 @@ class FailoverAgent:
                 "failover.takeover", node=self.backup.node_id,
                 old_rm=old_rm_id,
             )
-            tel.metrics.counter("rm_takeovers_total").inc()
+            tel.metrics.counter("repro_rm_takeovers_total").inc()
         if self.last_snapshot is not None:
             self.backup.restore_state(self.last_snapshot)
         self.backup.activate()

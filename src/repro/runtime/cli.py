@@ -75,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         "file; analyse it with repro-trace",
     )
     parser.add_argument(
+        "--sample", metavar="PERIOD", nargs="?", const=0.5, type=float,
+        default=None,
+        help="sample health series every PERIOD wall seconds (default "
+        "0.5) on a daemon thread and attach them to the --trace file; "
+        "view with repro-dash",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text /metrics and /healthz on "
+        "127.0.0.1:PORT while the run is live (0 = ephemeral port)",
+    )
+    parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the cluster (and /metrics endpoint) up this many "
+        "seconds after the tasks finish (default 0)",
+    )
+    parser.add_argument(
         "--log-level", metavar="LEVEL",
         help="enable structured per-node logging at LEVEL "
         "(e.g. INFO, DEBUG; off by default)",
@@ -86,7 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def run_live(args: argparse.Namespace) -> Dict[str, Any]:
+async def run_live(
+    args: argparse.Namespace, tel: Optional[Any] = None
+) -> Dict[str, Any]:
     config = LiveClusterConfig(
         n_peers=args.peers, object_duration_s=args.duration,
         placement_policy=args.policy,
@@ -99,28 +118,56 @@ async def run_live(args: argparse.Namespace) -> Dict[str, Any]:
             f"{', '.join(known)}"
         )
     report: Dict[str, Any] = {"tasks": []}
+    server = None
     async with cluster:
-        rm = cluster.rm_node
-        report["rm"] = rm.node_id
-        report["peers"] = sorted(n.node_id for n in cluster.peers())
-        for _ in range(args.tasks):
-            ack = await cluster.submit(
-                args.origin, deadline=args.deadline, timeout=args.timeout,
+        if tel is not None and args.sample is not None:
+            report["sampler"] = cluster.start_health_sampler(
+                tel, period=args.sample
             )
-            entry: Dict[str, Any] = {"ack": dict(ack)}
-            task_id = ack.get("task_id")
-            if ack.get("disposition") == "accepted" and task_id:
-                await cluster.wait_task_event(
-                    task_id, "completed", timeout=args.timeout,
+        if args.metrics_port is not None:
+            if tel is None:
+                raise ValueError("--metrics-port requires --trace")
+            from repro.telemetry.httpd import TelemetryHTTPServer
+
+            server = TelemetryHTTPServer(
+                tel.metrics.to_prometheus_text,
+                health_fn=lambda: {
+                    "status": "ok",
+                    "nodes": len(cluster.nodes),
+                },
+                port=args.metrics_port,
+            ).start()
+            print(f"metrics endpoint: {server.url}/metrics",
+                  file=sys.stderr)
+        try:
+            rm = cluster.rm_node
+            report["rm"] = rm.node_id
+            report["peers"] = sorted(n.node_id for n in cluster.peers())
+            for _ in range(args.tasks):
+                ack = await cluster.submit(
+                    args.origin, deadline=args.deadline,
+                    timeout=args.timeout,
                 )
-                task = cluster.task(task_id)
-                entry["state"] = task.state.name
-                entry["events"] = [
-                    ev for _, tid, ev in cluster.task_events if tid == task_id
-                ]
-            report["tasks"].append(entry)
-        report["summaries"] = cluster.summaries()
-        report["aggregate"] = cluster.aggregate_summary()
+                entry: Dict[str, Any] = {"ack": dict(ack)}
+                task_id = ack.get("task_id")
+                if ack.get("disposition") == "accepted" and task_id:
+                    await cluster.wait_task_event(
+                        task_id, "completed", timeout=args.timeout,
+                    )
+                    task = cluster.task(task_id)
+                    entry["state"] = task.state.name
+                    entry["events"] = [
+                        ev for _, tid, ev in cluster.task_events
+                        if tid == task_id
+                    ]
+                report["tasks"].append(entry)
+            if args.linger > 0:
+                await asyncio.sleep(args.linger)
+            report["summaries"] = cluster.summaries()
+            report["aggregate"] = cluster.aggregate_summary()
+        finally:
+            if server is not None:
+                server.close()
     return report
 
 
@@ -152,13 +199,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.origin = "P1"
     if args.log_level:
         configure_logging(args.log_level, json_lines=args.log_json)
+    if args.sample is not None and not args.trace:
+        parser.error("--sample requires --trace")
+    if args.metrics_port is not None and not args.trace:
+        parser.error("--metrics-port requires --trace (it serves the "
+                     "run's metrics registry)")
     tel = None
     if args.trace:
         tel = telemetry.activate(telemetry.Telemetry.wall())
     report: Optional[Dict[str, Any]] = None
+    sampler = None
     try:
         try:
-            report = asyncio.run(run_live(args))
+            report = asyncio.run(run_live(args, tel=tel))
+            if report is not None:
+                sampler = report.pop("sampler", None)
         except (asyncio.TimeoutError, TimeoutError):
             print("error: live run timed out", file=sys.stderr)
             return 1
@@ -172,7 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if report is not None:
                 meta["aggregate"] = report["aggregate"]
             telemetry.export.write_jsonl(
-                args.trace, tel.tracer, tel.metrics, meta=meta
+                args.trace, tel.tracer, tel.metrics, meta=meta,
+                sampler=sampler,
             )
             telemetry.deactivate()
             print(f"telemetry trace -> {args.trace}", file=sys.stderr)

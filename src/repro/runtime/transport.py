@@ -317,10 +317,10 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
                 trace_id=msg.trace_id, key=f"msg:{msg.msg_id}",
                 dst=msg.dst, msg_id=msg.msg_id, size=msg.size,
             )
-            tel.metrics.counter("net_messages_sent_total").inc()
-            tel.metrics.counter("message_bytes_total", kind=msg.kind).inc(
-                msg.size
-            )
+            tel.metrics.counter("repro_net_messages_sent_total").inc()
+            tel.metrics.counter(
+                "repro_net_message_bytes_total", kind=msg.kind
+            ).inc(msg.size)
         if self._closed or not self.is_up(msg.src):
             self._note_dropped(msg)
             return
@@ -342,14 +342,14 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         tel = telemetry.current()
         if tel.enabled:
             tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="dropped")
-            tel.metrics.counter("net_messages_dropped_total").inc()
+            tel.metrics.counter("repro_net_messages_dropped_total").inc()
 
     def _note_delivered(self, msg: Message) -> None:
         self.stats.delivered += 1
         tel = telemetry.current()
         if tel.enabled:
             tel.tracer.end_span_key(f"msg:{msg.msg_id}", status="ok")
-            tel.metrics.counter("net_messages_delivered_total").inc()
+            tel.metrics.counter("repro_net_messages_delivered_total").inc()
 
     # -- reliability -------------------------------------------------------
     async def _send_reliable(self, msg: Message) -> None:
@@ -368,7 +368,14 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
                     self.stats.retransmits += 1
                     tel = telemetry.current()
                     if tel.enabled:
-                        tel.metrics.counter("udp_retransmits_total").inc()
+                        tel.metrics.counter(
+                            "repro_udp_retransmits_total"
+                        ).inc()
+                        # Flight-recorder trigger: retry storms.
+                        tel.tracer.event(
+                            "udp.retry", node=self.node_id,
+                            dst=msg.dst, attempt=attempt,
+                        )
                 lost = self.drop_fn is not None and self.drop_fn(msg, attempt)
                 if not lost and self._sock is not None:
                     self._sock.sendto(frame, addr)
@@ -391,7 +398,7 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         except WireFormatError:
             self.stats.malformed += 1
             if tel.enabled:
-                tel.metrics.counter("udp_malformed_total").inc()
+                tel.metrics.counter("repro_udp_malformed_total").inc()
             return
         if frame["t"] == FRAME_ACK:
             waiter = self._pending_acks.get((frame["src"], frame["id"]))
@@ -404,14 +411,14 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
             self._sock.sendto(encode_ack(self.node_id, msg.msg_id), addr)
             self.stats.acks_sent += 1
             if tel.enabled:
-                tel.metrics.counter("udp_acks_sent_total").inc()
+                tel.metrics.counter("repro_udp_acks_sent_total").inc()
         if self.node_id in self._down or self._closed:
             return  # locally "crashed": receive nothing
         key = (msg.src, msg.msg_id)
         if key in self._seen:
             self.stats.duplicates += 1
             if tel.enabled:
-                tel.metrics.counter("udp_duplicates_total").inc()
+                tel.metrics.counter("repro_udp_duplicates_total").inc()
             return
         self._seen[key] = None
         if len(self._seen) > self._dedup_capacity:

@@ -29,6 +29,15 @@ from repro.sim.trace import Tracer
 _EPS = 1e-9
 
 
+def qos_class(importance: float) -> str:
+    """Bucket a job's importance weight into a QoS class label."""
+    if importance >= 2.0:
+        return "high"
+    if importance >= 1.0:
+        return "normal"
+    return "low"
+
+
 class Processor:
     """A single peer's CPU.
 
@@ -80,6 +89,10 @@ class Processor:
         self.n_missed = 0
         self.n_cancelled = 0
         self.completed_jobs: List[Job] = []
+        # Per-QoS-class tallies for the health sampler's miss-ratio
+        # series.  Plain dict bumps: always on, trajectory-neutral.
+        self.completed_by_class: dict = {}
+        self.missed_by_class: dict = {}
 
         self._proc = env.process(self._run(), name=f"cpu:{peer_id}")
 
@@ -104,9 +117,9 @@ class Processor:
             )
         tel = telemetry.current()
         if tel.enabled:
-            tel.metrics.gauge("lls_queue_depth", peer=self.peer_id).set(
-                self.queue_length
-            )
+            tel.metrics.gauge(
+                "repro_sched_queue_depth", peer=self.peer_id
+            ).set(self.queue_length)
         self._kick()
         return job.done
 
@@ -225,7 +238,7 @@ class Processor:
                         # Slack the job still has when it first reaches the
                         # CPU — the quantity LLS schedules on.
                         tel.metrics.histogram(
-                            "dispatch_laxity_seconds"
+                            "repro_sched_dispatch_laxity_seconds"
                         ).observe(job.laxity(env.now, power))
                 else:
                     job.preemptions += 1
@@ -256,8 +269,15 @@ class Processor:
                     job.remaining = 0.0
                     job.completed_at = env.now
                     self.n_completed += 1
+                    cls = qos_class(job.importance)
+                    self.completed_by_class[cls] = (
+                        self.completed_by_class.get(cls, 0) + 1
+                    )
                     if not job.met_deadline:
                         self.n_missed += 1
+                        self.missed_by_class[cls] = (
+                            self.missed_by_class.get(cls, 0) + 1
+                        )
                     self.completed_jobs.append(job)
                     if self.tracer is not None:
                         self.tracer.record(
@@ -267,11 +287,20 @@ class Processor:
                         )
                     tel = telemetry.current()
                     if tel.enabled:
-                        tel.metrics.counter("jobs_completed_total").inc()
+                        tel.metrics.counter(
+                            "repro_sched_jobs_completed_total", qos=cls
+                        ).inc()
                         if not job.met_deadline:
-                            tel.metrics.counter("jobs_missed_total").inc()
+                            tel.metrics.counter(
+                                "repro_sched_jobs_missed_total", qos=cls
+                            ).inc()
+                            # Flight-recorder trigger: miss bursts.
+                            tel.tracer.event(
+                                "job.missed", node=self.peer_id,
+                                task=job.task_id, qos=cls,
+                            )
                         tel.metrics.gauge(
-                            "lls_queue_depth", peer=self.peer_id
+                            "repro_sched_queue_depth", peer=self.peer_id
                         ).set(self.queue_length)
                     if job.done is not None:
                         job.done.succeed(job)

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.telemetry.export import TraceData
+from repro.telemetry.metrics import bucket_quantile
 from repro.telemetry.tracer import MESSAGE, SERVICE, TASK, Span
 
 #: NetworkStats counter names surfaced in the reliability summary.
@@ -116,7 +117,16 @@ def reliability_summary(data: TraceData) -> Dict[str, float]:
     in the meta line, so both sim and live traces produce one schema.
     """
     out: Dict[str, float] = {k: 0.0 for k in _RELIABILITY_KEYS}
+    # Canonical repro_* names plus the pre-rename families, so traces
+    # written before the naming normalization still analyze cleanly.
     families = {
+        "repro_net_messages_sent_total": "sent",
+        "repro_net_messages_delivered_total": "delivered",
+        "repro_net_messages_dropped_total": "dropped",
+        "repro_udp_retransmits_total": "retransmits",
+        "repro_udp_duplicates_total": "duplicates",
+        "repro_udp_malformed_total": "malformed",
+        "repro_udp_acks_sent_total": "acks_sent",
         "net_messages_sent_total": "sent",
         "net_messages_delivered_total": "delivered",
         "net_messages_dropped_total": "dropped",
@@ -136,6 +146,41 @@ def reliability_summary(data: TraceData) -> Dict[str, float]:
         for key in _RELIABILITY_KEYS:
             if key in agg:
                 out[key] = float(agg[key])
+    return out
+
+
+def histogram_summaries(data: TraceData) -> Dict[str, Dict[str, float]]:
+    """Per-family count/mean/p50/p95/p99 over histogram metric records.
+
+    Label sets within a family are merged by summing their cumulative
+    bucket counts per bound, then quantiles are estimated from the
+    merged buckets (the same linear interpolation Prometheus uses).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for rec in data.metrics:
+        if "buckets" not in rec:
+            continue
+        name = rec.get("name", "?")
+        fam = merged.setdefault(
+            name, {"count": 0, "sum": 0.0, "buckets": {}}
+        )
+        fam["count"] += rec.get("count", 0)
+        fam["sum"] += rec.get("sum", 0.0)
+        for bound, n in rec["buckets"]:
+            key = "+Inf" if bound == "+Inf" else float(bound)
+            fam["buckets"][key] = fam["buckets"].get(key, 0) + n
+    out: Dict[str, Dict[str, float]] = {}
+    for name in sorted(merged):
+        fam = merged[name]
+        buckets = [[b, n] for b, n in fam["buckets"].items()]
+        count = fam["count"]
+        out[name] = {
+            "count": count,
+            "mean": fam["sum"] / count if count else 0.0,
+            "p50": bucket_quantile(buckets, 0.5),
+            "p95": bucket_quantile(buckets, 0.95),
+            "p99": bucket_quantile(buckets, 0.99),
+        }
     return out
 
 
@@ -207,6 +252,15 @@ def format_report(data: TraceData, verbose: bool = False) -> str:
             f"{k}={rel[k]:g}" for k in _RELIABILITY_KEYS
         )
     )
+    hists = histogram_summaries(data)
+    if hists:
+        lines.append("latency quantiles:")
+        for name, s in hists.items():
+            lines.append(
+                f"  {name}: n={s['count']} mean={s['mean']:.4f}s "
+                f"p50={s['p50']:.4f}s p95={s['p95']:.4f}s "
+                f"p99={s['p99']:.4f}s"
+            )
     return "\n".join(lines)
 
 
@@ -240,4 +294,5 @@ def report_dict(data: TraceData) -> Dict[str, Any]:
         "message_kinds": message_kind_counts(data),
         "events": control_event_counts(data),
         "reliability": reliability_summary(data),
+        "histograms": histogram_summaries(data),
     }

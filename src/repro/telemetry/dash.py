@@ -1,0 +1,233 @@
+"""``repro-dash`` — terminal/markdown health report from sampled series.
+
+::
+
+    repro-dash out.jsonl                       # sparkline health report
+    repro-dash out.jsonl --markdown            # markdown tables
+    repro-dash out.jsonl --json                # machine-readable
+    repro-dash out.jsonl --bundle flight-000-rm_failover.jsonl
+
+Loads a trace written with ``--sample`` (``repro-run``/``repro-live``)
+and renders one sparkline per health series — the Figures 1–3-style
+views (deadline-miss ratio, load imbalance, staleness, net rates)
+regenerated from any run.  A flight-recorder bundle adds an anomaly
+section: reason, trigger time, and the windowed event counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.analyze import (
+    _RELIABILITY_KEYS,
+    control_event_counts,
+    histogram_summaries,
+    reliability_summary,
+)
+from repro.telemetry.export import TraceData, read_jsonl
+from repro.reporting.ascii import sparkline
+
+#: Max label sets rendered per series family before eliding.
+_MAX_SERIES_PER_FAMILY = 4
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _families(series: List[Dict[str, Any]]) -> Dict[str, List[Dict]]:
+    fams: Dict[str, List[Dict]] = {}
+    for rec in series:
+        fams.setdefault(rec.get("name", "?"), []).append(rec)
+    for recs in fams.values():
+        recs.sort(key=lambda r: sorted((r.get("labels") or {}).items()))
+    return fams
+
+
+def _series_line(rec: Dict[str, Any], width: int, markdown: bool) -> str:
+    values = [float(v) for v in rec.get("v", [])]
+    labels = _fmt_labels(rec.get("labels") or {})
+    spark = sparkline(values, width=width) if values else "(empty)"
+    if values:
+        stats = (
+            f"n={len(values)} last={values[-1]:.3g} "
+            f"min={min(values):.3g} max={max(values):.3g}"
+        )
+    else:
+        stats = "n=0"
+    if markdown:
+        return f"| `{labels or '—'}` | `{spark}` | {stats} |"
+    return f"  {labels or '(all)':<28} {spark}  {stats}"
+
+
+def render_report(
+    data: TraceData,
+    bundle: Optional[TraceData] = None,
+    markdown: bool = False,
+    width: int = 40,
+) -> str:
+    lines: List[str] = []
+
+    def heading(text: str) -> None:
+        if markdown:
+            lines.append(f"\n## {text}\n")
+        else:
+            lines.append(f"\n{text}")
+
+    head = (
+        f"clock={data.clock} series={len(data.series)} "
+        f"spans={len(data.spans)} events={len(data.events)}"
+    )
+    if markdown:
+        lines.append("# repro health report\n")
+        lines.append(head)
+    else:
+        lines.append(f"repro health report: {head}")
+
+    fams = _families(data.series)
+    if not fams:
+        lines.append(
+            "\nno sampled series in this trace — rerun with --sample "
+            "(repro-run/repro-live) to record health signals."
+        )
+    for name in sorted(fams):
+        recs = fams[name]
+        heading(name)
+        if markdown:
+            lines.append("| labels | trend | stats |")
+            lines.append("|---|---|---|")
+        for rec in recs[:_MAX_SERIES_PER_FAMILY]:
+            lines.append(_series_line(rec, width, markdown))
+        if len(recs) > _MAX_SERIES_PER_FAMILY:
+            extra = len(recs) - _MAX_SERIES_PER_FAMILY
+            lines.append(
+                f"| … | (+{extra} more) | |" if markdown
+                else f"  (+{extra} more label sets)"
+            )
+
+    rel = reliability_summary(data)
+    if any(rel.values()):
+        heading("reliability")
+        lines.append(
+            " ".join(f"{k}={rel[k]:g}" for k in _RELIABILITY_KEYS)
+        )
+    hists = histogram_summaries(data)
+    if hists:
+        heading("latency quantiles")
+        for name, s in hists.items():
+            lines.append(
+                f"{name}: n={s['count']} mean={s['mean']:.4f}s "
+                f"p50={s['p50']:.4f}s p95={s['p95']:.4f}s "
+                f"p99={s['p99']:.4f}s"
+            )
+    events = control_event_counts(data)
+    if events:
+        heading("events")
+        lines.append(
+            " ".join(f"{k}={n}" for k, n in sorted(events.items()))
+        )
+
+    if bundle is not None:
+        heading("flight recorder")
+        meta = bundle.meta
+        lines.append(
+            f"reason={meta.get('reason', '?')} "
+            f"time={meta.get('time', '?')} "
+            f"window={meta.get('window', '?')}s "
+            f"clock={meta.get('clock', '?')}"
+        )
+        counts = control_event_counts(bundle)
+        if counts:
+            lines.append(
+                "window events: " + " ".join(
+                    f"{k}={n}" for k, n in sorted(counts.items())
+                )
+            )
+        lines.append(
+            f"window spans: {len(bundle.spans)}  "
+            f"series: {len(bundle.series)}"
+        )
+    return "\n".join(lines)
+
+
+def report_dict(
+    data: TraceData, bundle: Optional[TraceData] = None
+) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "clock": data.clock,
+        "series": data.series,
+        "reliability": reliability_summary(data),
+        "histograms": histogram_summaries(data),
+        "events": control_event_counts(data),
+    }
+    if bundle is not None:
+        doc["flight"] = {
+            "meta": bundle.meta,
+            "events": control_event_counts(bundle),
+            "n_spans": len(bundle.spans),
+            "n_series": len(bundle.series),
+        }
+    return doc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dash",
+        description=(
+            "Render a terminal/markdown health report (sparklines per "
+            "sampled signal) from a telemetry trace produced with "
+            "--sample, optionally joined with a flight-recorder bundle."
+        ),
+    )
+    parser.add_argument("trace", help="trace file (JSONL) with series")
+    parser.add_argument(
+        "--bundle", help="flight-recorder bundle (JSONL) to include",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit markdown tables instead of plain text",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--width", type=int, default=40,
+        help="sparkline width in characters (default 40)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        data = read_jsonl(args.trace)
+        bundle = read_jsonl(args.bundle) if args.bundle else None
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.json:
+            print(json.dumps(
+                report_dict(data, bundle), indent=2, default=str
+            ))
+        else:
+            print(render_report(
+                data, bundle, markdown=args.markdown, width=args.width
+            ))
+    except BrokenPipeError:  # e.g. ``repro-dash out.jsonl | head``
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -5,7 +5,8 @@ Line types::
     {"type": "meta",   "clock": "wall", "version": 1, ...}
     {"type": "span",   "span_id": 3, "trace_id": "task:t1", ...}
     {"type": "event",  "time": 0.2, "name": "rm.elected", ...}
-    {"type": "metric", "name": "udp_retransmits_total", ...}
+    {"type": "metric", "name": "repro_udp_retransmits_total", ...}
+    {"type": "series", "name": "repro_peer_load", "t": [...], "v": [...]}
 
 The format is append-friendly (a crashed run still yields a readable
 prefix) and greppable; :func:`read_jsonl` tolerates unknown line types
@@ -34,6 +35,7 @@ class TraceData:
     spans: List[Span] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    series: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def clock(self) -> str:
@@ -44,6 +46,7 @@ def iter_records(
     tracer,
     metrics: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    sampler=None,
 ) -> Iterable[Dict[str, Any]]:
     """All records of one trace file, meta line first."""
     head: Dict[str, Any] = {
@@ -67,6 +70,11 @@ def iter_records(
             rec = dict(rec)
             rec["type"] = "metric"
             yield rec
+    if sampler is not None:
+        for rec in sampler.records():
+            rec = dict(rec)
+            rec["type"] = "series"
+            yield rec
 
 
 def write_jsonl(
@@ -74,9 +82,12 @@ def write_jsonl(
     tracer,
     metrics: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
+    sampler=None,
 ) -> int:
     """Write a trace file; returns the number of records written."""
-    records = iter_records(tracer, metrics=metrics, meta=meta)
+    records = iter_records(
+        tracer, metrics=metrics, meta=meta, sampler=sampler
+    )
     if isinstance(dest, (str, os.PathLike)):
         with open(dest, "w", encoding="utf-8") as fp:
             return _write(fp, records)
@@ -121,6 +132,10 @@ def _read(fp: IO[str]) -> TraceData:
             data.events.append(TraceEvent.from_dict(rec))
         elif rtype == "metric":
             data.metrics.append(
+                {k: v for k, v in rec.items() if k != "type"}
+            )
+        elif rtype == "series":
+            data.series.append(
                 {k: v for k, v in rec.items() if k != "type"}
             )
         # unknown types: skipped (forward compatibility)

@@ -1,0 +1,169 @@
+"""Flight recorder: bounded span/event ring + anomaly-triggered dumps.
+
+Crash-time evidence for a system whose interesting failures are
+transient: the recorder keeps the last ``capacity`` finished spans and
+events in a ring (always-on, bounded memory) and watches the stream for
+three anomaly signatures:
+
+* ``rm_failover`` — a ``failover.takeover`` control event (a backup RM
+  promoted itself after the primary went silent),
+* ``deadline_miss_burst`` — more than ``miss_burst`` ``job.missed``
+  events inside ``miss_window`` seconds,
+* ``udp_retry_storm`` — more than ``retry_burst`` ``udp.retry`` events
+  inside ``retry_window`` seconds.
+
+On a trigger it dumps the last ``window`` seconds of the ring — plus
+the current sampler series and a metrics snapshot — to a JSONL bundle
+(``flight-NNN-<reason>.jsonl``), then goes quiet for ``cooldown``
+seconds per reason so a sustained anomaly yields one bundle, not one
+per event.
+
+The recorder taps the stream via the tracer's listener hook, so it only
+sees anything when telemetry is enabled; the disabled path stays the
+usual no-op guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.export import TRACE_FORMAT_VERSION
+
+#: Ring capacity (finished spans + events combined).
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Always-on bounded recorder with anomaly-triggered JSONL dumps."""
+
+    def __init__(
+        self,
+        tel,
+        out_dir: str = ".",
+        window: float = 30.0,
+        capacity: int = DEFAULT_CAPACITY,
+        miss_burst: int = 8,
+        miss_window: float = 10.0,
+        retry_burst: int = 20,
+        retry_window: float = 5.0,
+        cooldown: float = 60.0,
+        sampler=None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.tel = tel
+        self.out_dir = out_dir
+        self.window = float(window)
+        self.miss_burst = int(miss_burst)
+        self.miss_window = float(miss_window)
+        self.retry_burst = int(retry_burst)
+        self.retry_window = float(retry_window)
+        self.cooldown = float(cooldown)
+        self.sampler = sampler
+
+        self._ring: Deque[Tuple[float, str, Dict[str, Any]]] = deque(
+            maxlen=capacity
+        )
+        self._miss_times: Deque[float] = deque(maxlen=self.miss_burst + 1)
+        self._retry_times: Deque[float] = deque(maxlen=self.retry_burst + 1)
+        self._last_dump: Dict[str, float] = {}
+        #: Paths of bundles written, in order.
+        self.dumps: List[str] = []
+        self.n_triggers = 0
+        self._closed = False
+        tel.tracer.add_listener(self._on_record)
+
+    # -- stream tap --------------------------------------------------------
+    def _on_record(self, kind: str, rec) -> None:
+        if self._closed:
+            return
+        data = rec.as_dict()
+        t = data.get("end", data.get("time", 0.0)) or 0.0
+        self._ring.append((t, kind, data))
+        if kind != "event":
+            return
+        name = data.get("name")
+        if name == "failover.takeover":
+            self._trigger("rm_failover", t)
+        elif name == "job.missed":
+            if self._burst(self._miss_times, t,
+                           self.miss_burst, self.miss_window):
+                self._trigger("deadline_miss_burst", t)
+        elif name == "udp.retry":
+            if self._burst(self._retry_times, t,
+                           self.retry_burst, self.retry_window):
+                self._trigger("udp_retry_storm", t)
+
+    @staticmethod
+    def _burst(times: Deque[float], t: float, burst: int,
+               window: float) -> bool:
+        times.append(t)
+        while times and times[0] < t - window:
+            times.popleft()
+        return len(times) > burst
+
+    # -- triggering --------------------------------------------------------
+    def _trigger(self, reason: str, now: float) -> None:
+        last = self._last_dump.get(reason)
+        if last is not None and now - last < self.cooldown:
+            return
+        self._last_dump[reason] = now
+        self.n_triggers += 1
+        self.dump(reason, now)
+
+    def dump(self, reason: str, now: Optional[float] = None) -> str:
+        """Write the windowed bundle; returns the bundle path."""
+        if now is None:
+            now = self.tel.clock.now()
+        cutoff = now - self.window
+        path = os.path.join(
+            self.out_dir,
+            f"flight-{len(self.dumps):03d}-{reason}.jsonl",
+        )
+        os.makedirs(self.out_dir or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            meta = {
+                "type": "meta",
+                "version": TRACE_FORMAT_VERSION,
+                "bundle": "flight",
+                "reason": reason,
+                "time": round(now, 6),
+                "window": self.window,
+                "clock": self.tel.clock.label,
+            }
+            fh.write(json.dumps(meta) + "\n")
+            for t, kind, data in self._ring:
+                if t < cutoff:
+                    continue
+                fh.write(json.dumps({"type": kind, **data}) + "\n")
+            if self.sampler is not None:
+                for rec in self.sampler.records():
+                    fh.write(json.dumps({"type": "series", **rec}) + "\n")
+            for rec in self.tel.metrics.snapshot():
+                # snapshot() records carry the metric kind in "type";
+                # the JSONL record type must win (matches export.py).
+                fh.write(json.dumps({**rec, "type": "metric"}) + "\n")
+        self.dumps.append(path)
+        return path
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the tracer stream."""
+        if self._closed:
+            return
+        self._closed = True
+        self.tel.tracer.remove_listener(self._on_record)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlightRecorder ring={len(self._ring)} "
+            f"dumps={len(self.dumps)}>"
+        )

@@ -1,0 +1,111 @@
+"""Live `/metrics` + `/healthz` endpoint (stdlib-only, daemon thread).
+
+Serves the active registry's Prometheus text exposition so a scraper
+(or a human with ``curl``) can watch a live run::
+
+    server = TelemetryHTTPServer(tel.metrics.to_prometheus_text, port=9464)
+    server.start()
+    ...
+    server.close()
+
+``metrics_fn`` is pulled on every request — no caching, no background
+collection — so the endpoint costs nothing between scrapes.  The server
+runs on a daemon thread of :class:`http.server.ThreadingHTTPServer`;
+``port=0`` binds an ephemeral port (read it back from ``.port`` after
+``start()``), which is what the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+
+class TelemetryHTTPServer:
+    """Minimal observability endpoint for the live runtime."""
+
+    def __init__(
+        self,
+        metrics_fn: Callable[[], str],
+        health_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics_fn = metrics_fn
+        self.health_fn = health_fn or (lambda: {"status": "ok"})
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = outer.metrics_fn().encode("utf-8")
+                    except Exception as exc:
+                        self._reply(500, "text/plain",
+                                    f"metrics error: {exc}\n".encode())
+                        return
+                    self._reply(
+                        200, "text/plain; version=0.0.4; charset=utf-8",
+                        body,
+                    )
+                elif path == "/healthz":
+                    try:
+                        payload = outer.health_fn()
+                    except Exception as exc:
+                        self._reply(
+                            500, "application/json",
+                            json.dumps(
+                                {"status": "error", "error": str(exc)}
+                            ).encode(),
+                        )
+                        return
+                    self._reply(
+                        200, "application/json",
+                        json.dumps(payload).encode("utf-8"),
+                    )
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass  # scrapes must not spam the run's stdout
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="telemetry-httpd", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

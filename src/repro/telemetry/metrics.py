@@ -23,6 +23,39 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Pre-rename metric names (PR 2..4 era) -> canonical
+#: ``repro_<subsystem>_<name>`` families.  Lookups through the registry
+#: (``counter``/``gauge``/``histogram``/``value``/``total``) resolve old
+#: names to the canonical family, so existing dashboards and tests keep
+#: working for one release; the aliases will be dropped after that.
+METRIC_ALIASES: Dict[str, str] = {
+    "net_messages_sent_total": "repro_net_messages_sent_total",
+    "net_messages_delivered_total": "repro_net_messages_delivered_total",
+    "net_messages_dropped_total": "repro_net_messages_dropped_total",
+    "message_bytes_total": "repro_net_message_bytes_total",
+    "udp_retransmits_total": "repro_udp_retransmits_total",
+    "udp_duplicates_total": "repro_udp_duplicates_total",
+    "udp_malformed_total": "repro_udp_malformed_total",
+    "udp_acks_sent_total": "repro_udp_acks_sent_total",
+    "lls_queue_depth": "repro_sched_queue_depth",
+    "dispatch_laxity_seconds": "repro_sched_dispatch_laxity_seconds",
+    "service_time_seconds": "repro_sched_service_time_seconds",
+    "jobs_completed_total": "repro_sched_jobs_completed_total",
+    "jobs_missed_total": "repro_sched_jobs_missed_total",
+    "tasks_submitted_total": "repro_rm_tasks_submitted_total",
+    "tasks_finished_total": "repro_rm_tasks_finished_total",
+    "placement_decisions_total": "repro_rm_placement_decisions_total",
+    "rm_takeovers_total": "repro_rm_takeovers_total",
+    "peer_utilization": "repro_profiler_peer_utilization",
+    "profiler_reports_total": "repro_profiler_reports_total",
+    "gossip_rounds_total": "repro_gossip_rounds_total",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a possibly-old metric family name to its canonical form."""
+    return METRIC_ALIASES.get(name, name)
+
 
 def _label_key(labels: Dict[str, Any]) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -78,6 +111,25 @@ class Histogram:
                 return
         self.overflow += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (Prometheus-style linear interpolation).
+
+        The estimate interpolates within the bucket where the cumulative
+        count crosses ``q * count``.  The first bucket's lower edge is
+        taken as ``min(0.0, lowest bound)`` (laxity histograms observe
+        negative values); observations in the overflow bucket clamp to
+        the highest finite bound.
+        """
+        return bucket_quantile(
+            [[b, n] for b, n in self.cumulative()], q
+        )
+
+    def quantiles(
+        self, qs: Iterable[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[float, float]:
+        """Estimates for several quantiles at once."""
+        return {q: self.quantile(q) for q in qs}
+
     def cumulative(self) -> List[Tuple[float, int]]:
         """(upper bound, cumulative count) pairs, +inf last."""
         out: List[Tuple[float, int]] = []
@@ -107,6 +159,7 @@ class MetricsRegistry:
         self, name: str, type_: str, factory, labels: Dict[str, Any],
         help_: str = "",
     ):
+        name = canonical_name(name)
         seen = self._types.get(name)
         if seen is None:
             self._types[name] = type_
@@ -146,6 +199,7 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels: Any) -> Optional[float]:
         """Scalar value of one series (histograms report their sum)."""
+        name = canonical_name(name)
         inst = self._series.get((name, _label_key(labels)))
         if inst is None:
             return None
@@ -155,6 +209,7 @@ class MetricsRegistry:
 
     def total(self, name: str) -> float:
         """Sum of a family's scalar values across all label sets."""
+        name = canonical_name(name)
         total = 0.0
         for (fam, _), inst in self._series.items():
             if fam != name:
@@ -222,6 +277,40 @@ class MetricsRegistry:
                         f"{name}{_fmt_labels(key)} {inst.value:g}"
                     )
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def bucket_quantile(buckets: List[List[Any]], q: float) -> float:
+    """q-quantile estimate from cumulative ``[[bound, count], ...]``.
+
+    Accepts the snapshot/JSONL bucket encoding, where the +inf bound is
+    the string ``"+Inf"`` and counts are cumulative.  Linear
+    interpolation within the crossing bucket, Prometheus-style; the
+    overflow bucket clamps to the highest finite bound.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    parsed: List[Tuple[float, float]] = []
+    for bound, n in buckets:
+        b = float("inf") if bound == "+Inf" else float(bound)
+        parsed.append((b, float(n)))
+    parsed.sort(key=lambda bn: bn[0])
+    if not parsed or parsed[-1][1] <= 0:
+        return 0.0
+    total = parsed[-1][1]
+    rank = q * total
+    prev_bound = min(0.0, parsed[0][0])
+    prev_count = 0.0
+    for bound, count in parsed:
+        if count >= rank:
+            if bound == float("inf"):
+                # Overflow bucket: no upper edge to interpolate toward.
+                return prev_bound
+            if count == prev_count:
+                return bound
+            frac = (rank - prev_count) / (count - prev_count)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_count = bound, count
+    return prev_bound
 
 
 def _fmt_labels(key: _LabelKey, **extra: str) -> str:

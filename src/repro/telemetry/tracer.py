@@ -132,6 +132,19 @@ class TelemetryTracer:
         self.events: List[TraceEvent] = []
         self._open: Dict[str, Span] = {}
         self._ids = itertools.count(1)
+        # Stream taps (e.g. the flight recorder): fn(kind, record) called
+        # on every finished span and every event.
+        self._listeners: List[Any] = []
+
+    # -- stream listeners --------------------------------------------------
+    def add_listener(self, fn) -> None:
+        """Register *fn(kind, record)* for finished spans and events."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
 
     # -- spans -------------------------------------------------------------
     def start_span(
@@ -161,6 +174,9 @@ class TelemetryTracer:
         if attrs:
             span.attrs.update(attrs)
         self.spans.append(span)
+        if self._listeners:
+            for fn in self._listeners:
+                fn("span", span)
         return span
 
     def end_span_key(
@@ -199,6 +215,9 @@ class TelemetryTracer:
             trace_id=trace_id, span_id=span_id, attrs=attrs,
         )
         self.events.append(ev)
+        if self._listeners:
+            for fn in self._listeners:
+                fn("event", ev)
         return ev
 
     # -- queries -----------------------------------------------------------
@@ -251,6 +270,12 @@ class NoopTracer:
         return 0
 
     def event(self, name, **kwargs) -> None:  # noqa: D102
+        return None
+
+    def add_listener(self, fn) -> None:  # noqa: D102
+        return None
+
+    def remove_listener(self, fn) -> None:  # noqa: D102
         return None
 
     def clear(self) -> None:  # noqa: D102

@@ -10,6 +10,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro import telemetry
 from repro.common.util import fmt_table
@@ -61,10 +62,20 @@ def main(argv: list[str] | None = None) -> int:
         "file; analyse it with repro-trace",
     )
     parser.add_argument(
+        "--sample", metavar="PERIOD", nargs="?", const=1.0, type=float,
+        default=None,
+        help="with --trace: sample health series every PERIOD simulated "
+        "seconds (default 1.0) and attach them to the trace; view with "
+        "repro-dash.  Also arms the flight recorder (anomaly bundles "
+        "land next to the trace file).",
+    )
+    parser.add_argument(
         "--print-default-config", action="store_true",
         help="emit the default ScenarioConfig as JSON and exit",
     )
     args = parser.parse_args(argv)
+    if args.sample is not None and not args.trace:
+        parser.error("--sample requires --trace")
 
     if args.print_default_config:
         print(config_to_json(ScenarioConfig()))
@@ -90,8 +101,25 @@ def main(argv: list[str] | None = None) -> int:
         f"policy={cfg.allocation_policy}; seed={cfg.seed}"
     )
     tel = None
+    sampler = None
+    recorder_fr = None
     if args.trace:
         tel = telemetry.activate(telemetry.Telemetry.sim(scenario.env))
+        if args.sample is not None:
+            from repro.telemetry.flight_recorder import FlightRecorder
+            from repro.telemetry.timeseries import (
+                HealthSampler, overlay_probes,
+            )
+
+            sampler = HealthSampler(tel, period=args.sample)
+            for probe in overlay_probes(scenario.overlay, scenario.network):
+                sampler.add_probe(probe)
+            sampler.attach_sim(scenario.env)
+            recorder_fr = FlightRecorder(
+                tel,
+                out_dir=os.path.dirname(args.trace) or ".",
+                sampler=sampler,
+            )
     try:
         summary = scenario.run(duration=args.duration, drain=args.drain)
     finally:
@@ -104,7 +132,12 @@ def main(argv: list[str] | None = None) -> int:
                     "seed": cfg.seed,
                     "aggregate": scenario.network.stats.summary(),
                 },
+                sampler=sampler,
             )
+            if recorder_fr is not None:
+                recorder_fr.close()
+                for path in recorder_fr.dumps:
+                    print(f"flight-recorder bundle -> {path}")
             telemetry.deactivate()
             print(f"telemetry trace -> {args.trace}")
 
