@@ -13,6 +13,7 @@ from repro.core.allocation import (
     select_max_fairness,
 )
 from repro.core.estimate import CompletionTimeEstimator
+from repro.sim.rng import fallback_rng
 
 
 def select_first(candidates: List[Candidate]) -> Candidate:
@@ -24,9 +25,10 @@ class RandomSelector:
     """Uniform choice among feasible candidates."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        # Unseeded fallback; reproducible selection requires a
-        # seed-derived rng (build_scenario plumbs one).
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Fallback: the ambient scenario seed when installed (see
+        # repro.sim.rng), else OS entropy; build_scenario plumbs an
+        # explicit seed-derived rng.
+        self.rng = rng if rng is not None else fallback_rng("allocator")
 
     def __call__(self, candidates: List[Candidate]) -> Candidate:
         return candidates[int(self.rng.integers(len(candidates)))]

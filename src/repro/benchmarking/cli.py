@@ -55,6 +55,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="CI smoke mode: reduced durations, heavy rungs skipped",
     )
     parser.add_argument(
+        "--suite", default="perf", choices=("perf", "adversarial"),
+        help="'perf' (default) runs the pinned performance suite; "
+        "'adversarial' runs the stress-scenario configs under "
+        "--scenario-dir through the scenario DSL",
+    )
+    parser.add_argument(
+        "--scenario-dir", default=None, metavar="DIR",
+        help="scenario configs for --suite adversarial "
+        "(default benchmarks/scenarios)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_benches",
         help="list registered benchmarks and exit",
     )
@@ -100,7 +111,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "baseline or drop --baseline"
         )
 
+    adversarial = args.suite == "adversarial"
+    from repro.scenarios import suite as scenario_suite
+    scenario_dir = args.scenario_dir or scenario_suite.DEFAULT_SCENARIO_DIR
+
     if args.list_benches:
+        if adversarial:
+            for path in scenario_suite.discover(scenario_dir):
+                print(path)
+            return 0
         for spec in BENCHES:
             quick = "quick+full" if spec.quick else "full only"
             print(f"{spec.name:22s} [{spec.family}] ({quick}) "
@@ -111,11 +130,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         [n.strip() for n in args.only.split(",") if n.strip()]
         if args.only else None
     )
-    try:
-        specs = select(only=only, quick=args.quick)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
     warmup = args.warmup if args.warmup is not None else (
         0 if args.quick else 1
     )
@@ -123,23 +137,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         2 if args.quick else 3
     )
 
-    records: List[harness.BenchRecord] = []
-    for spec in specs:
-        params = spec.effective_params(quick=args.quick)
-        print(f"running {spec.name} {params} "
-              f"(warmup={warmup}, repeat={repeat}) ...", flush=True)
-        record = harness.run_benchmark(
-            spec.name, spec.build(quick=args.quick, sample=args.sample),
-            params=params, warmup=warmup, repeat=repeat,
-        )
-        records.append(record)
+    if adversarial:
+        # Scenario runs are deterministic in the simulated world, so
+        # one recorded repeat is enough unless timing is the question.
+        if args.warmup is None:
+            warmup = 0
+        if args.repeat is None:
+            repeat = 1
+        try:
+            records = scenario_suite.run_suite(
+                scenario_dir,
+                only=only,
+                quick=args.quick,
+                warmup=warmup,
+                repeat=repeat,
+                progress=lambda name: print(
+                    f"running scenario {name} "
+                    f"(warmup={warmup}, repeat={repeat}) ...", flush=True
+                ),
+            )
+        except (FileNotFoundError, KeyError) as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    else:
+        try:
+            specs = select(only=only, quick=args.quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        records = []
+        for spec in specs:
+            params = spec.effective_params(quick=args.quick)
+            print(f"running {spec.name} {params} "
+                  f"(warmup={warmup}, repeat={repeat}) ...", flush=True)
+            record = harness.run_benchmark(
+                spec.name, spec.build(quick=args.quick, sample=args.sample),
+                params=params, warmup=warmup, repeat=repeat,
+            )
+            records.append(record)
 
     print()
     print(_format_table(records))
 
     out_path = args.out
     if out_path is None:
-        out_path = "BENCH_4.json"
+        out_path = "BENCH_SCENARIOS.json" if adversarial else "BENCH_4.json"
     if out_path != "-":
         mode = "quick" if args.quick else "full"
         doc = harness.report_document(records, mode=mode,

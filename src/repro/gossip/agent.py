@@ -25,6 +25,7 @@ from repro.core import protocol
 from repro.core.manager import ResourceManager
 from repro.net.message import Message
 from repro.sim.events import Event, Interrupt
+from repro.sim.rng import fallback_rng
 from repro.summaries.domain_summary import DomainSummary
 
 
@@ -56,11 +57,14 @@ class GossipAgent:
     ) -> None:
         self.rm = rm
         self.config = config or GossipConfig()
-        # Unseeded fallback: with a fixed seed every agent constructed
-        # without an rng would pick identical gossip targets run after
-        # run, whatever the scenario seed (the overlay plumbs a
-        # per-agent stream derived from the run seed).
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Fallback: a per-agent stream from the ambient scenario seed
+        # when one is installed (see repro.sim.rng), else OS entropy
+        # (the overlay plumbs an explicit per-agent stream derived from
+        # the run seed).
+        self.rng = (
+            rng if rng is not None
+            else fallback_rng(f"gossip:{rm.node_id}")
+        )
         #: All summaries this agent holds, by rm id (own included).
         self.summaries: Dict[str, DomainSummary] = {}
         self._last_published: Optional[tuple] = None

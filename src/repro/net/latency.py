@@ -12,6 +12,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.sim.rng import fallback_rng
+
 
 class LatencyModel:
     """Base class: maps a (src, dst) pair to a one-way delay sample."""
@@ -50,9 +52,10 @@ class UniformLatency(LatencyModel):
             raise ValueError(f"invalid latency range [{lo}, {hi}]")
         self.lo = float(lo)
         self.hi = float(hi)
-        # Unseeded fallback; reproducible jitter requires a
-        # seed-derived rng (build_scenario plumbs one).
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Fallback: the ambient scenario seed when installed (see
+        # repro.sim.rng), else OS entropy; build_scenario plumbs an
+        # explicit seed-derived rng.
+        self.rng = rng if rng is not None else fallback_rng("latency")
 
     def sample(self, src: str, dst: str) -> float:
         return float(self.rng.uniform(self.lo, self.hi))
@@ -92,9 +95,10 @@ class DomainAwareLatency(LatencyModel):
         self.intra = float(intra)
         self.inter = float(inter)
         self.jitter = float(jitter)
-        # Unseeded fallback; reproducible jitter requires a
-        # seed-derived rng (build_scenario plumbs one).
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Fallback: the ambient scenario seed when installed (see
+        # repro.sim.rng), else OS entropy; build_scenario plumbs an
+        # explicit seed-derived rng.
+        self.rng = rng if rng is not None else fallback_rng("latency")
         # Jitter draws are batched: a numpy Generator produces the exact
         # same value sequence for one size=N call as for N scalar calls,
         # so refilling a buffer preserves trajectories bit-for-bit while

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heappush as _heappush
-from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Optional, Set, Tuple
 
 from repro import telemetry
 from repro.common.errors import UnknownPeer
@@ -25,6 +25,9 @@ class NetworkStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    #: Drops attributed to an active network partition (a subset of
+    #: ``dropped``); scripted partition scenarios gate on this.
+    partition_drops: int = 0
     bytes_sent: float = 0.0
     by_kind: Dict[str, int] = field(default_factory=dict)
     #: Messages addressed to each node (hot-spot analysis, e.g. how much
@@ -60,6 +63,7 @@ class NetworkStats:
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "partition_drops": self.partition_drops,
             "bytes_sent": self.bytes_sent,
             "by_kind": dict(self.by_kind),
             "hottest_dst": hot,
@@ -131,6 +135,9 @@ class Network:
         self.stats = NetworkStats()
         self._nodes: Dict[str, "NetNode"] = {}
         self._down: Set[str] = set()
+        #: Active partition: node id -> group index (None = connected).
+        #: Nodes absent from the map form one implicit residual group.
+        self._partition: Optional[Dict[str, int]] = None
         #: Last scheduled arrival per (src, dst), for FIFO ordering.
         self._last_arrival: Dict[Tuple[str, str], float] = {}
         # Bound once: every send attaches this callback to its delivery
@@ -190,6 +197,39 @@ class Network:
         """True if the node is registered and not failed."""
         return node_id in self._nodes and node_id not in self._down
 
+    # -- partitions ----------------------------------------------------------
+    def set_partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the fabric into isolated *groups* of node ids.
+
+        While a partition is active, a message whose src and dst fall in
+        different groups is dropped at send time and attributed to the
+        ``partition_drops`` counter.  Nodes not named in any group form
+        one implicit residual group (they can reach each other but no
+        listed group).  Calling again replaces the partition wholesale;
+        :meth:`heal_partition` removes it.
+        """
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                mapping[node_id] = index
+        self._partition = mapping or None
+
+    def heal_partition(self) -> None:
+        """Remove any active partition; delivery resumes immediately."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        """True while a partition is in force."""
+        return self._partition is not None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if no active partition separates *src* from *dst*."""
+        part = self._partition
+        if part is None:
+            return True
+        return part.get(src, -1) == part.get(dst, -1)
+
     # -- transmission ---------------------------------------------------------
     def send(self, msg: Message) -> None:
         """Transmit *msg*; delivery is asynchronous.
@@ -224,16 +264,21 @@ class Network:
                 or src in down or dst in down):
             self._drop(msg)
             return
+        part = self._partition
+        if part is not None and part.get(src, -1) != part.get(dst, -1):
+            self.stats.partition_drops += 1
+            self._drop(msg)
+            return
         if self.loss_rate > 0.0:
             if self._loss_rng is None:
-                # No stream was plumbed in: fall back to OS entropy.  A
-                # fixed fallback seed here would silently give every run
-                # the same loss pattern regardless of the scenario seed;
-                # reproducible loss requires passing ``loss_rng``
-                # (``build_scenario`` derives one from the run seed).
-                import numpy as np
+                # No stream was plumbed in: derive from the ambient
+                # scenario seed when one is installed, else OS entropy
+                # (a fixed fallback seed here would silently give every
+                # run the same loss pattern regardless of the scenario
+                # seed; ``build_scenario`` passes ``loss_rng``).
+                from repro.sim.rng import fallback_rng
 
-                self._loss_rng = np.random.default_rng()
+                self._loss_rng = fallback_rng("loss")
             if self._loss_rng.random() < self.loss_rate:
                 self._drop(msg)
                 return

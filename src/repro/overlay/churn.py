@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.overlay.network import OverlayNetwork, PeerSpec
 from repro.sim.events import Event, Interrupt
+from repro.sim.rng import fallback_rng
 
 _rebirth_counter = itertools.count(1)
 
@@ -59,10 +60,10 @@ class ChurnProcess:
     ) -> None:
         self.overlay = overlay
         self.config = config or ChurnConfig()
-        # Unseeded fallback: a fixed seed here would give every run the
-        # same churn schedule regardless of the scenario seed.  Pass an
-        # rng (build_scenario derives one from the run seed) to reproduce.
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Fallback: derives from the ambient scenario seed when one is
+        # installed (see repro.sim.rng), else OS entropy.  Pass an rng
+        # (build_scenario derives one from the run seed) to pin draws.
+        self.rng = rng if rng is not None else fallback_rng("churn")
         #: Optionally rewrites the replacement's spec (new capabilities).
         self.spec_mutator = spec_mutator
         self.departures = 0

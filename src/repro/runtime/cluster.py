@@ -264,14 +264,16 @@ class LiveCluster:
     def aggregate_summary(self) -> Dict[str, Any]:
         """Cluster-wide counters, shaped like one NetworkStats.summary()."""
         total: Dict[str, Any] = {
-            "sent": 0, "delivered": 0, "dropped": 0, "bytes_sent": 0.0,
+            "sent": 0, "delivered": 0, "dropped": 0, "partition_drops": 0,
+            "bytes_sent": 0.0,
             "by_kind": {},
             "retransmits": 0, "duplicates": 0, "malformed": 0,
             "acks_sent": 0,
         }
         for s in self.summaries().values():
             for key in (
-                "sent", "delivered", "dropped", "bytes_sent",
+                "sent", "delivered", "dropped", "partition_drops",
+                "bytes_sent",
                 "retransmits", "duplicates", "malformed", "acks_sent",
             ):
                 total[key] += s.get(key, 0)

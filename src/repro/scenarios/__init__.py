@@ -1,0 +1,64 @@
+"""Adversarial scenario DSL: declarative stress composition.
+
+Config-driven workloads that layer trace-shaped arrivals, heavy-tailed
+task costs, correlated failures/partitions, misbehaving peers and
+auto-attached health sampling onto any simulated scenario.  See
+``docs/scenarios.md`` for the file format.
+"""
+
+from repro.scenarios.adversary import MisbehavingPeer, choose_liars
+from repro.scenarios.arrivals import (
+    ShapedArrivalProcess,
+    make_workload_cls,
+    peak_multiplier,
+    rate_multiplier,
+)
+from repro.scenarios.builder import (
+    StressedScenario,
+    build_stressed_scenario,
+    run_spec,
+)
+from repro.scenarios.faults import FaultScript
+from repro.scenarios.spec import (
+    METRICS_SCHEMA_VERSION,
+    AdversarySpec,
+    ArrivalSpec,
+    CostSpec,
+    FaultSpec,
+    HealthSpec,
+    ScenarioSpec,
+    load_spec,
+    parse_spec,
+)
+from repro.scenarios.suite import (
+    DEFAULT_SCENARIO_DIR,
+    discover,
+    make_bench_fn,
+    run_suite,
+)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "DEFAULT_SCENARIO_DIR",
+    "AdversarySpec",
+    "ArrivalSpec",
+    "CostSpec",
+    "FaultSpec",
+    "FaultScript",
+    "HealthSpec",
+    "MisbehavingPeer",
+    "ScenarioSpec",
+    "ShapedArrivalProcess",
+    "StressedScenario",
+    "build_stressed_scenario",
+    "choose_liars",
+    "discover",
+    "load_spec",
+    "make_bench_fn",
+    "make_workload_cls",
+    "parse_spec",
+    "peak_multiplier",
+    "rate_multiplier",
+    "run_spec",
+    "run_suite",
+]

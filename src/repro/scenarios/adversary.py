@@ -1,0 +1,94 @@
+"""Misbehaving peers: poisoned self-reports and inflated join claims.
+
+The paper's control loop (§3.1, §4.1) trusts peers twice: at join time
+(claimed power/bandwidth/uptime drive qualification and the eligible
+list) and continuously (Profiler load reports drive placement).  A
+:class:`MisbehavingPeer` exploits both:
+
+* **join-time** — the scenario builder inflates the liar's
+  :class:`PeerSpec` claims before the join protocol runs (so the RM's
+  records, qualification scoring and backup election all ingest the
+  lie) and restores the node's *true* processor power afterwards;
+* **run-time** — the wrapper intercepts ``Profiler.report_fn`` and
+  rewrites each :class:`LoadReport` on its way to the RM: a liar can
+  claim it is idle (``constant``), overstate its power while
+  understating its load (``inflate``), or alternate between lying and
+  truth (``intermittent``).
+
+The wrapper sits between the Profiler and the peer's own send path, so
+poisoned reports flow through the normal LOAD_UPDATE message, into the
+RM's load table, and from there into gossip summaries — exactly the
+path honest data takes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.monitoring.profiler import LoadReport
+from repro.scenarios.spec import AdversarySpec
+
+
+def choose_liars(
+    peer_ids: Sequence[str], fraction: float, rng: np.random.Generator
+) -> List[str]:
+    """A deterministic (stream-seeded) subset of *peer_ids* that lie."""
+    ids = sorted(peer_ids)
+    k = max(1, int(round(fraction * len(ids))))
+    k = min(k, len(ids))
+    idx = rng.choice(len(ids), size=k, replace=False)
+    return [ids[int(i)] for i in sorted(idx)]
+
+
+class MisbehavingPeer:
+    """Wraps one built peer so its self-reports lie to the RM."""
+
+    def __init__(self, peer, spec: AdversarySpec, true_power: float) -> None:
+        self.peer = peer
+        self.spec = spec
+        #: The peer's real capacity (its claims may be inflated).
+        self.true_power = float(true_power)
+        self.n_reports = 0
+        self.n_lies = 0
+        # Undo the join-claim inflation: the peer *executes* at its true
+        # power; only its paperwork was inflated.
+        peer.processor.power = self.true_power
+        peer.config.power = self.true_power
+        self._forward = peer.profiler.report_fn
+        peer.profiler.report_fn = self._report
+
+    # -- the lie -----------------------------------------------------------
+    def _lying_now(self, now: float) -> bool:
+        if self.spec.mode != "intermittent":
+            return True
+        return (now % self.spec.period) < self.spec.duty * self.spec.period
+
+    def _corrupt(self, report: LoadReport) -> None:
+        spec = self.spec
+        if spec.mode == "inflate":
+            report.power *= spec.inflate_factor
+            report.utilization /= spec.inflate_factor
+            report.load /= spec.inflate_factor
+            report.queue_work /= spec.inflate_factor
+        else:  # constant / intermittent: claim to be (nearly) idle
+            u = spec.claimed_utilization
+            report.utilization = u
+            report.load = report.power * u
+            report.queue_work = 0.0
+            report.queue_length = 0
+
+    def _report(self, report: LoadReport) -> None:
+        self.n_reports += 1
+        if self._lying_now(report.time):
+            self._corrupt(report)
+            self.n_lies += 1
+        if self._forward is not None:
+            self._forward(report)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MisbehavingPeer {self.peer.node_id} mode={self.spec.mode} "
+            f"lies={self.n_lies}/{self.n_reports}>"
+        )

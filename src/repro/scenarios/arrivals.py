@@ -1,0 +1,78 @@
+"""Non-homogeneous Poisson arrivals for shaped workloads.
+
+:class:`ShapedArrivalProcess` subclasses the homogeneous
+:class:`~repro.workloads.arrivals.TaskArrivalProcess` and overrides only
+the inter-arrival hook, generating a non-homogeneous Poisson stream by
+Lewis-Shedler thinning: candidate gaps are drawn at the peak rate and
+accepted with probability ``rate(t) / peak``.  Everything else — object
+popularity, goal choice, deadline slack, submission — is the stock
+machinery, so shaped runs differ from plain ones only in *when* tasks
+arrive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.scenarios.spec import ArrivalSpec
+from repro.workloads.arrivals import TaskArrivalProcess
+
+_TWO_PI = 2.0 * math.pi
+
+
+def rate_multiplier(shape: ArrivalSpec, t: float) -> float:
+    """The instantaneous rate multiplier at simulated time *t* (>= 0)."""
+    if shape.shape == "diurnal":
+        return 1.0 + shape.amplitude * math.sin(
+            _TWO_PI * (t - shape.phase) / shape.period
+        )
+    if shape.shape == "flash_crowd":
+        if shape.t_start <= t < shape.t_end:
+            return shape.multiplier
+        return 1.0
+    return 1.0
+
+
+def peak_multiplier(shape: ArrivalSpec) -> float:
+    """An upper bound on :func:`rate_multiplier` (thinning envelope)."""
+    if shape.shape == "diurnal":
+        return 1.0 + shape.amplitude
+    if shape.shape == "flash_crowd":
+        return max(1.0, shape.multiplier)
+    return 1.0
+
+
+class ShapedArrivalProcess(TaskArrivalProcess):
+    """Arrivals whose rate follows an :class:`ArrivalSpec` curve.
+
+    Build concrete classes with :func:`make_workload_cls` — the
+    scenario builder passes the result as ``workload_cls`` to
+    ``build_scenario``, which constructs the workload with the stock
+    ``(overlay, catalog, objects, config=..., rng=...)`` signature.
+    """
+
+    #: Bound by :func:`make_workload_cls` on the subclass.
+    shape: ArrivalSpec
+
+    def _next_gap(self, now: float) -> float:
+        # Thinning: the candidate stream runs at the peak rate; each
+        # candidate survives with probability rate(t)/peak.  Two draws
+        # per candidate, so shaped runs never share trajectories with
+        # plain ones (they are benched against their own goldens).
+        peak = peak_multiplier(self.shape)
+        peak_rate = self.config.rate * peak
+        rng = self.rng
+        t = now
+        while True:
+            t += rng.exponential(1.0 / peak_rate)
+            if rng.random() * peak <= rate_multiplier(self.shape, t):
+                return t - now
+
+
+def make_workload_cls(shape: ArrivalSpec) -> type:
+    """A :class:`ShapedArrivalProcess` subclass with *shape* bound."""
+    return type(
+        f"Shaped_{shape.shape}_ArrivalProcess",
+        (ShapedArrivalProcess,),
+        {"shape": shape},
+    )

@@ -1,0 +1,138 @@
+"""Scripted fault injection: correlated failures, partitions, heals.
+
+A :class:`FaultScript` replays a list of :class:`FaultSpec` events at
+their absolute simulated times inside the environment.  All random
+choices (which peers die, which side of a partition a node lands on)
+come from one scenario-seeded stream, so a fault script is as
+reproducible as the workload it stresses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Generator, List
+
+import numpy as np
+
+from repro.scenarios.spec import FaultSpec
+
+
+class FaultScript:
+    """Drives scripted faults through an overlay + network fabric."""
+
+    def __init__(
+        self,
+        overlay,
+        network,
+        events: List[FaultSpec],
+        rng: np.random.Generator,
+    ) -> None:
+        self.overlay = overlay
+        self.network = network
+        self.events = sorted(events, key=lambda e: e.at)
+        self.rng = rng
+        #: (time, kind, details) per executed event, in order.
+        self.log: List[tuple] = []
+        self.n_failed = 0
+        self.n_partitions = 0
+        self.n_heals = 0
+        self._proc = overlay.env.process(self._loop(), name="fault-script")
+
+    # -- helpers -----------------------------------------------------------
+    def _domain_ids(self) -> List[str]:
+        return sorted(self.overlay.domains)
+
+    def _live_members(self, domain_id: str, include_rm: bool) -> List[str]:
+        overlay = self.overlay
+        rm_id = overlay.domains[domain_id].rm.node_id
+        out = []
+        for pid, did in sorted(overlay.domain_of.items()):
+            if did != domain_id:
+                continue
+            node = overlay.peers.get(pid)
+            if node is None or not node.alive:
+                continue
+            if pid == rm_id and not include_rm:
+                continue
+            out.append(pid)
+        return out
+
+    def _pick(self, pool: List[str], k: int) -> List[str]:
+        if k >= len(pool):
+            return list(pool)
+        idx = self.rng.choice(len(pool), size=k, replace=False)
+        return [pool[int(i)] for i in sorted(idx)]
+
+    # -- fault kinds -------------------------------------------------------
+    def _fail_domain(self, ev: FaultSpec) -> Dict[str, Any]:
+        domains = self._domain_ids()
+        if not domains:
+            return {"failed": []}
+        domain_id = domains[ev.domain_index % len(domains)]
+        members = self._live_members(domain_id, ev.include_rm)
+        victims = self._pick(
+            members, max(1, math.ceil(ev.fraction * len(members)))
+        ) if members else []
+        for pid in victims:
+            self.overlay.fail_peer(pid)
+        self.n_failed += len(victims)
+        return {"domain": domain_id, "failed": victims}
+
+    def _fail_peers(self, ev: FaultSpec) -> Dict[str, Any]:
+        live = [
+            pid for pid, node in sorted(self.overlay.peers.items())
+            if node.alive
+        ]
+        victims = self._pick(live, ev.count)
+        for pid in victims:
+            self.overlay.fail_peer(pid)
+        self.n_failed += len(victims)
+        return {"failed": victims}
+
+    def _partition(self, ev: FaultSpec) -> Dict[str, Any]:
+        if ev.domains is not None:
+            domains = self._domain_ids()
+            isolated = {
+                domains[i % len(domains)] for i in ev.domains
+            } if domains else set()
+            group_a = [
+                pid for pid, did in sorted(self.overlay.domain_of.items())
+                if did in isolated
+            ]
+        else:
+            everyone = sorted(self.overlay.domain_of)
+            k = max(1, int(round(ev.split * len(everyone))))
+            group_a = self._pick(everyone, min(k, max(1, len(everyone) - 1)))
+        # One listed group; everyone else is the implicit residual side.
+        self.network.set_partition([group_a])
+        self.n_partitions += 1
+        return {"group_a": group_a}
+
+    def _heal(self, ev: FaultSpec) -> Dict[str, Any]:
+        self.network.heal_partition()
+        self.n_heals += 1
+        return {}
+
+    # -- the process -------------------------------------------------------
+    def _loop(self) -> Generator:
+        env = self.overlay.env
+        handlers = {
+            "fail_domain": self._fail_domain,
+            "fail_peers": self._fail_peers,
+            "partition": self._partition,
+            "heal": self._heal,
+        }
+        for ev in self.events:
+            delay = ev.at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            detail = handlers[ev.kind](ev)
+            self.log.append((env.now, ev.kind, detail))
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "fault_events": len(self.log),
+            "peers_failed": self.n_failed,
+            "partitions": self.n_partitions,
+            "heals": self.n_heals,
+        }

@@ -1,0 +1,315 @@
+"""The declarative stress-scenario DSL: config file -> ScenarioSpec.
+
+A scenario file (JSON always; TOML when the interpreter ships
+``tomllib``, i.e. Python 3.11+) composes four stressor families onto a
+base simulation config::
+
+    {
+      "name": "flash_crowd",
+      "duration": 120.0,
+      "base": {"seed": 7, "population": {"n_peers": 24}},
+      "arrivals": {"shape": "flash_crowd", "t_start": 40.0,
+                   "t_end": 70.0, "multiplier": 6.0},
+      "cost": {"dist": "pareto", "alpha": 1.6},
+      "faults": [{"at": 50.0, "kind": "partition", "split": 0.5},
+                 {"at": 80.0, "kind": "heal"}],
+      "adversaries": {"fraction": 0.25, "mode": "constant"},
+      "health": {"period": 1.0}
+    }
+
+* ``base`` is a partial :class:`~repro.workloads.scenario.ScenarioConfig`
+  (same section names as ``repro-run`` configs; unknown keys rejected).
+* ``arrivals`` replaces the homogeneous Poisson stream with a shaped
+  (non-homogeneous) one; ``cost`` turns the per-object stream durations
+  — and hence task costs — heavy-tailed.
+* ``faults`` is a script of absolute-sim-time events: correlated
+  domain-wide peer failures, random peer crashes, network partitions
+  and heals.
+* ``adversaries`` marks a deterministic subset of peers as liars that
+  misreport load/power to their Resource Manager (and inflate their
+  §4.1 qualification claims).
+* ``health`` auto-attaches the sim-time :class:`HealthSampler` (and a
+  :class:`FlightRecorder`), making deadline-miss ratio, load imbalance
+  and redirect rate regression-gateable.
+
+Everything random is drawn from named substreams of the base config's
+seed, so one seed reproduces a run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.workloads.configio import config_from_dict
+from repro.workloads.scenario import ScenarioConfig
+
+#: Bumped when the scenario-metrics JSON layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
+_ARRIVAL_SHAPES = ("constant", "diurnal", "flash_crowd")
+_COST_DISTS = ("fixed", "pareto", "lognormal")
+_FAULT_KINDS = ("fail_domain", "fail_peers", "partition", "heal")
+_ADVERSARY_MODES = ("constant", "inflate", "intermittent")
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(f"scenario spec: {msg}")
+
+
+def _check_keys(section: str, doc: Dict[str, Any], allowed: tuple) -> None:
+    unknown = set(doc) - set(allowed)
+    _require(not unknown, f"{section}: unknown keys {sorted(unknown)}")
+
+
+@dataclass
+class ArrivalSpec:
+    """Shape of the task arrival rate over simulated time."""
+
+    shape: str = "constant"
+    #: Diurnal: ``rate * (1 + amplitude * sin(2pi (t - phase)/period))``.
+    period: float = 120.0
+    amplitude: float = 0.8
+    phase: float = 0.0
+    #: Flash crowd: ``rate * multiplier`` inside ``[t_start, t_end)``.
+    t_start: float = 0.0
+    t_end: float = 0.0
+    multiplier: float = 5.0
+
+    def __post_init__(self) -> None:
+        _require(self.shape in _ARRIVAL_SHAPES,
+                 f"arrivals.shape must be one of {_ARRIVAL_SHAPES}, "
+                 f"got {self.shape!r}")
+        _require(self.period > 0, "arrivals.period must be positive")
+        _require(0.0 <= self.amplitude <= 1.0,
+                 "arrivals.amplitude must be in [0, 1]")
+        _require(self.multiplier > 0,
+                 "arrivals.multiplier must be positive")
+        if self.shape == "flash_crowd":
+            _require(self.t_end > self.t_start,
+                     "arrivals.t_end must exceed t_start")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ArrivalSpec":
+        _check_keys("arrivals", doc, (
+            "shape", "period", "amplitude", "phase",
+            "t_start", "t_end", "multiplier",
+        ))
+        return cls(**doc)
+
+
+@dataclass
+class CostSpec:
+    """Heavy-tailed task-cost (stream duration) distribution."""
+
+    dist: str = "pareto"
+    alpha: float = 1.6
+    sigma: float = 0.75
+    cap: float = 12.0
+
+    def __post_init__(self) -> None:
+        _require(self.dist in _COST_DISTS,
+                 f"cost.dist must be one of {_COST_DISTS}, "
+                 f"got {self.dist!r}")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CostSpec":
+        _check_keys("cost", doc, ("dist", "alpha", "sigma", "cap"))
+        return cls(**doc)
+
+
+@dataclass
+class FaultSpec:
+    """One scripted fault at an absolute simulated time."""
+
+    at: float
+    kind: str
+    #: ``fail_domain``: which domain (rank by id) and member fraction.
+    domain_index: int = 0
+    fraction: float = 0.5
+    include_rm: bool = False
+    #: ``fail_peers``: how many random live peers crash.
+    count: int = 1
+    #: ``partition``: either a random node split (fraction in group A)
+    #: or an explicit list of domain indices isolated from the rest.
+    split: float = 0.5
+    domains: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        _require(self.kind in _FAULT_KINDS,
+                 f"faults[].kind must be one of {_FAULT_KINDS}, "
+                 f"got {self.kind!r}")
+        _require(self.at >= 0, "faults[].at must be non-negative")
+        _require(0.0 < self.fraction <= 1.0,
+                 "faults[].fraction must be in (0, 1]")
+        _require(self.count >= 1, "faults[].count must be >= 1")
+        _require(0.0 < self.split < 1.0,
+                 "faults[].split must be in (0, 1)")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultSpec":
+        _check_keys("faults[]", doc, (
+            "at", "kind", "domain_index", "fraction", "include_rm",
+            "count", "split", "domains",
+        ))
+        _require("at" in doc and "kind" in doc,
+                 "faults[] entries need 'at' and 'kind'")
+        return cls(**doc)
+
+
+@dataclass
+class AdversarySpec:
+    """Misbehaving peers: poisoned self-reports + inflated claims."""
+
+    #: Fraction of the population that lies (deterministic choice from
+    #: the scenario seed's "adversary" stream).
+    fraction: float = 0.2
+    mode: str = "constant"
+    #: ``constant``: always report this utilization (idle-looking liars
+    #: attract work they cannot absorb).
+    claimed_utilization: float = 0.0
+    #: ``inflate``: report power x factor and load / factor.
+    inflate_factor: float = 4.0
+    #: ``intermittent``: lie during the first ``duty`` of every
+    #: ``period`` seconds, tell the truth otherwise.
+    period: float = 20.0
+    duty: float = 0.5
+    #: Qualification poisoning: claimed power/bandwidth multiplier at
+    #: join time (the peer's true capacity is restored after joining,
+    #: so the §4.1 election ingests the lie but execution does not).
+    claim_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(0.0 < self.fraction <= 1.0,
+                 "adversaries.fraction must be in (0, 1]")
+        _require(self.mode in _ADVERSARY_MODES,
+                 f"adversaries.mode must be one of {_ADVERSARY_MODES}, "
+                 f"got {self.mode!r}")
+        _require(0.0 <= self.claimed_utilization <= 1.0,
+                 "adversaries.claimed_utilization must be in [0, 1]")
+        _require(self.inflate_factor >= 1.0,
+                 "adversaries.inflate_factor must be >= 1")
+        _require(self.period > 0, "adversaries.period must be positive")
+        _require(0.0 < self.duty < 1.0,
+                 "adversaries.duty must be in (0, 1)")
+        _require(self.claim_factor >= 1.0,
+                 "adversaries.claim_factor must be >= 1")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "AdversarySpec":
+        _check_keys("adversaries", doc, (
+            "fraction", "mode", "claimed_utilization", "inflate_factor",
+            "period", "duty", "claim_factor",
+        ))
+        return cls(**doc)
+
+
+@dataclass
+class HealthSpec:
+    """Auto-attached health sampling + flight recorder."""
+
+    period: float = 1.0
+    flight_recorder: bool = True
+    miss_burst: int = 8
+    miss_window: float = 10.0
+    cooldown: float = 60.0
+
+    def __post_init__(self) -> None:
+        _require(self.period > 0, "health.period must be positive")
+        _require(self.miss_burst >= 1, "health.miss_burst must be >= 1")
+        _require(self.miss_window > 0,
+                 "health.miss_window must be positive")
+        _require(self.cooldown > 0, "health.cooldown must be positive")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "HealthSpec":
+        _check_keys("health", doc, (
+            "period", "flight_recorder", "miss_burst", "miss_window",
+            "cooldown",
+        ))
+        return cls(**doc)
+
+
+@dataclass
+class ScenarioSpec:
+    """One validated stress scenario, ready for the builder."""
+
+    name: str
+    description: str = ""
+    duration: float = 120.0
+    drain: float = 30.0
+    base: ScenarioConfig = field(default_factory=ScenarioConfig)
+    arrivals: Optional[ArrivalSpec] = None
+    cost: Optional[CostSpec] = None
+    faults: List[FaultSpec] = field(default_factory=list)
+    adversaries: Optional[AdversarySpec] = None
+    health: Optional[HealthSpec] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "a scenario needs a name")
+        _require(self.duration > 0, "duration must be positive")
+        _require(self.drain >= 0, "drain must be non-negative")
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ScenarioSpec":
+        """Validate a parsed scenario document."""
+        _require(isinstance(doc, dict), "document must be an object")
+        _check_keys("top level", doc, (
+            "name", "description", "duration", "drain", "base",
+            "arrivals", "cost", "faults", "adversaries", "health",
+        ))
+        _require("name" in doc, "a scenario needs a name")
+        base = config_from_dict(doc.get("base", {}) or {})
+        faults_doc = doc.get("faults", []) or []
+        _require(isinstance(faults_doc, list), "faults must be a list")
+        return cls(
+            name=str(doc["name"]),
+            description=str(doc.get("description", "")),
+            duration=float(doc.get("duration", 120.0)),
+            drain=float(doc.get("drain", 30.0)),
+            base=base,
+            arrivals=(
+                ArrivalSpec.from_dict(doc["arrivals"])
+                if doc.get("arrivals") else None
+            ),
+            cost=(
+                CostSpec.from_dict(doc["cost"])
+                if doc.get("cost") else None
+            ),
+            faults=[FaultSpec.from_dict(f) for f in faults_doc],
+            adversaries=(
+                AdversarySpec.from_dict(doc["adversaries"])
+                if doc.get("adversaries") else None
+            ),
+            health=(
+                HealthSpec.from_dict(doc["health"])
+                if doc.get("health") else None
+            ),
+        )
+
+
+def parse_spec(text: str, fmt: str = "json") -> ScenarioSpec:
+    """Parse scenario *text* in the given format (``json``/``toml``)."""
+    if fmt == "json":
+        return ScenarioSpec.from_dict(json.loads(text))
+    if fmt == "toml":
+        try:
+            import tomllib  # Python 3.11+
+        except ImportError as exc:  # pragma: no cover - 3.10 path
+            raise ValueError(
+                "TOML scenario files need Python 3.11+ (tomllib); "
+                "use the JSON form instead"
+            ) from exc
+        return ScenarioSpec.from_dict(tomllib.loads(text))
+    raise ValueError(f"unknown scenario format {fmt!r}")
+
+
+def load_spec(path: str) -> ScenarioSpec:
+    """Load a scenario spec from a ``.json`` or ``.toml`` file."""
+    ext = os.path.splitext(path)[1].lower()
+    fmt = "toml" if ext == ".toml" else "json"
+    with open(path, "r", encoding="utf-8") as fp:
+        return parse_spec(fp.read(), fmt=fmt)

@@ -13,7 +13,7 @@ experiments rely on:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -61,3 +61,43 @@ class RandomStreams:
 
     def __repr__(self) -> str:
         return f"RandomStreams(seed={self.seed}, streams={sorted(self._streams)})"
+
+
+#: The ambient stream set of the scenario currently being built/run.
+#: ``build_scenario`` installs its :class:`RandomStreams` here so that
+#: components constructed *without* an explicit ``rng`` still derive
+#: from the scenario seed instead of OS entropy — without it, any
+#: stressor or helper wired up outside the builder would silently
+#: break end-to-end reproducibility.
+_ambient: Optional[RandomStreams] = None
+
+
+def set_ambient_streams(streams: Optional[RandomStreams]) -> None:
+    """Install (or clear, with ``None``) the ambient stream set.
+
+    Called by ``build_scenario``; the ambient set stays installed for
+    the lifetime of the run so components created mid-run (rebuilt
+    gossip agents, scripted fault processes, ...) keep drawing from the
+    scenario seed.  Building a new scenario replaces it.
+    """
+    global _ambient
+    _ambient = streams
+
+
+def ambient_streams() -> Optional[RandomStreams]:
+    """The currently installed ambient stream set, if any."""
+    return _ambient
+
+
+def fallback_rng(name: str) -> np.random.Generator:
+    """A generator for a component constructed without an explicit rng.
+
+    When an ambient stream set is installed the generator is derived
+    from the scenario seed under ``fallback:<name>`` (distinct from the
+    explicitly plumbed streams, so legacy draw sequences are never
+    perturbed); otherwise this falls back to OS entropy, preserving the
+    historic "unseeded fallback" behavior for bare component use.
+    """
+    if _ambient is not None:
+        return _ambient.get(f"fallback:{name}")
+    return np.random.default_rng()

@@ -40,7 +40,7 @@ from typing import Iterator, Optional
 from repro.telemetry import export
 from repro.telemetry.clock import ClockSource, NullClock, SimClock, WallClock
 from repro.telemetry.flight_recorder import FlightRecorder
-from repro.telemetry.metrics import METRIC_ALIASES, MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.timeseries import HealthSampler, SeriesRing
 from repro.telemetry.tracer import (
     CONTROL,
@@ -56,7 +56,7 @@ from repro.telemetry.tracer import (
 __all__ = [
     "Telemetry", "current", "activate", "deactivate", "session",
     "TelemetryTracer", "NoopTracer", "Span", "TraceEvent",
-    "MetricsRegistry", "METRIC_ALIASES", "SimClock", "WallClock",
+    "MetricsRegistry", "SimClock", "WallClock",
     "NullClock", "ClockSource", "HealthSampler", "SeriesRing",
     "FlightRecorder", "TASK", "SERVICE", "MESSAGE", "CONTROL", "export",
 ]

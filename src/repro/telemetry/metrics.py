@@ -1,7 +1,8 @@
 """The metrics registry: counters, gauges, histograms + exporters.
 
 A :class:`MetricsRegistry` hands out label-scoped instruments on demand
-(`registry.counter("udp_retransmits_total", node="P1").inc()`), following
+(`registry.counter("repro_udp_retransmits_total", node="P1").inc()`),
+following
 the Prometheus data model: a *family* is one name + instrument type, a
 *series* is a family plus a concrete label set.  Two export formats:
 
@@ -22,39 +23,6 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 _LabelKey = Tuple[Tuple[str, str], ...]
-
-#: Pre-rename metric names (PR 2..4 era) -> canonical
-#: ``repro_<subsystem>_<name>`` families.  Lookups through the registry
-#: (``counter``/``gauge``/``histogram``/``value``/``total``) resolve old
-#: names to the canonical family, so existing dashboards and tests keep
-#: working for one release; the aliases will be dropped after that.
-METRIC_ALIASES: Dict[str, str] = {
-    "net_messages_sent_total": "repro_net_messages_sent_total",
-    "net_messages_delivered_total": "repro_net_messages_delivered_total",
-    "net_messages_dropped_total": "repro_net_messages_dropped_total",
-    "message_bytes_total": "repro_net_message_bytes_total",
-    "udp_retransmits_total": "repro_udp_retransmits_total",
-    "udp_duplicates_total": "repro_udp_duplicates_total",
-    "udp_malformed_total": "repro_udp_malformed_total",
-    "udp_acks_sent_total": "repro_udp_acks_sent_total",
-    "lls_queue_depth": "repro_sched_queue_depth",
-    "dispatch_laxity_seconds": "repro_sched_dispatch_laxity_seconds",
-    "service_time_seconds": "repro_sched_service_time_seconds",
-    "jobs_completed_total": "repro_sched_jobs_completed_total",
-    "jobs_missed_total": "repro_sched_jobs_missed_total",
-    "tasks_submitted_total": "repro_rm_tasks_submitted_total",
-    "tasks_finished_total": "repro_rm_tasks_finished_total",
-    "placement_decisions_total": "repro_rm_placement_decisions_total",
-    "rm_takeovers_total": "repro_rm_takeovers_total",
-    "peer_utilization": "repro_profiler_peer_utilization",
-    "profiler_reports_total": "repro_profiler_reports_total",
-    "gossip_rounds_total": "repro_gossip_rounds_total",
-}
-
-
-def canonical_name(name: str) -> str:
-    """Resolve a possibly-old metric family name to its canonical form."""
-    return METRIC_ALIASES.get(name, name)
 
 
 def _label_key(labels: Dict[str, Any]) -> _LabelKey:
@@ -159,7 +127,6 @@ class MetricsRegistry:
         self, name: str, type_: str, factory, labels: Dict[str, Any],
         help_: str = "",
     ):
-        name = canonical_name(name)
         seen = self._types.get(name)
         if seen is None:
             self._types[name] = type_
@@ -199,7 +166,6 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels: Any) -> Optional[float]:
         """Scalar value of one series (histograms report their sum)."""
-        name = canonical_name(name)
         inst = self._series.get((name, _label_key(labels)))
         if inst is None:
             return None
@@ -209,7 +175,6 @@ class MetricsRegistry:
 
     def total(self, name: str) -> float:
         """Sum of a family's scalar values across all label sets."""
-        name = canonical_name(name)
         total = 0.0
         for (fam, _), inst in self._series.items():
             if fam != name:

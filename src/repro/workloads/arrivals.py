@@ -12,6 +12,7 @@ from repro.media.objects import MediaObject
 from repro.net.node import RPCError
 from repro.overlay.network import OverlayNetwork
 from repro.sim.events import Event, Interrupt
+from repro.sim.rng import fallback_rng
 from repro.workloads.catalog import MediaCatalog
 
 
@@ -58,9 +59,11 @@ class TaskArrivalProcess:
         self.catalog = catalog
         self.objects = list(objects)
         self.config = config or WorkloadConfig()
-        # Unseeded fallback; reproducible arrivals require plumbing a
-        # seed-derived rng (build_scenario does).
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mean_gap = 1.0 / self.config.rate
+        # Fallback: the ambient scenario seed when installed (see
+        # repro.sim.rng), else OS entropy; build_scenario plumbs an
+        # explicit seed-derived rng.
+        self.rng = rng if rng is not None else fallback_rng("arrivals")
         self._zipf_probs = self._make_zipf(len(self.objects))
         self._goals_cache: dict = {}
         # nominal_deadline's population aggregates, keyed on the
@@ -152,15 +155,24 @@ class TaskArrivalProcess:
         return float(self.config.deadline_slack * nominal)
 
     # -- the arrival loop ----------------------------------------------------
+    def _next_gap(self, now: float) -> float:
+        """Seconds until the next arrival, drawn at sim time *now*.
+
+        The hook shaped workloads override; the base process is a
+        homogeneous Poisson stream (one exponential draw per arrival,
+        the exact draw sequence the trajectory goldens pin).
+        """
+        return float(self.rng.exponential(self._mean_gap))
+
     def _loop(self) -> Generator[Event, Any, None]:
         env = self.overlay.env
         cfg = self.config
-        mean_gap = 1.0 / cfg.rate
-        exponential = self.rng.exponential
+        self._mean_gap = 1.0 / cfg.rate
+        next_gap = self._next_gap
         timeout = env.timeout
         try:
             while True:
-                yield timeout(float(exponential(mean_gap)))
+                yield timeout(next_gap(env.now))
                 if cfg.stop_at is not None and env.now >= cfg.stop_at:
                     return
                 origin = self._pick_origin()

@@ -20,6 +20,56 @@ from repro.workloads.scenario import ScenarioConfig, build_scenario
 from repro.workloads.trace import TraceRecorder, save_trace
 
 
+def _run_scenario(args) -> int:
+    """The ``--scenario`` path: run one stress-scenario DSL file."""
+    import json
+
+    from repro.scenarios import build_stressed_scenario, load_spec
+
+    spec = load_spec(args.scenario)
+    if args.seed is not None:
+        spec.base.seed = args.seed
+    if args.policy is not None:
+        spec.base.allocation_policy = args.policy
+        spec.base.rm.placement_policy = args.policy
+
+    out_dir = (
+        os.path.dirname(args.metrics_out) if args.metrics_out else "."
+    ) or "."
+    stressed = build_stressed_scenario(spec, out_dir=out_dir)
+    scenario = stressed.scenario
+    print(
+        f"scenario {spec.name!r}: {scenario.overlay.n_peers} peers / "
+        f"{scenario.overlay.n_domains} domains; seed={spec.base.seed}; "
+        f"stressors: arrivals={spec.arrivals.shape if spec.arrivals else '-'}"
+        f" cost={spec.cost.dist if spec.cost else '-'}"
+        f" faults={len(spec.faults)}"
+        f" liars={len(stressed.liars)}"
+    )
+    summary = stressed.run()
+    doc = stressed.metrics_document()
+
+    rows = [[k, v if not isinstance(v, float) else f"{v:.3f}"]
+            for k, v in summary.row().items()]
+    rows.append(["partition_drops", doc["partition_drops"]])
+    print(fmt_table(["metric", "value"], rows))
+    if stressed.faults is not None:
+        for t, kind, detail in stressed.faults.log:
+            print(f"  fault t={t:.1f}s {kind}: {detail}")
+    if stressed.recorder is not None:
+        for path in stressed.recorder.dumps:
+            print(f"flight-recorder bundle -> {path}")
+    if len(scenario.metrics.fairness_series):
+        _, values = scenario.metrics.fairness_series.as_arrays()
+        print(f"fairness over time: {sparkline(values, width=60)}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            json.dump(doc, fp, indent=2)
+            fp.write("\n")
+        print(f"scenario metrics -> {args.metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-run",
@@ -31,6 +81,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "config", nargs="?", help="scenario config JSON file"
+    )
+    parser.add_argument(
+        "--scenario", metavar="FILE",
+        help="run a stress-scenario DSL file (.json/.toml) instead of a "
+        "plain config: shaped arrivals, fault scripts, misbehaving "
+        "peers, auto-attached health sampling (see docs/scenarios.md)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="with --scenario: write the schema-versioned per-scenario "
+        "metrics JSON here",
     )
     parser.add_argument(
         "--duration", type=float, default=300.0,
@@ -80,8 +141,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.print_default_config:
         print(config_to_json(ScenarioConfig()))
         return 0
+    if args.scenario:
+        if args.config:
+            parser.error("--scenario replaces the plain config argument")
+        return _run_scenario(args)
+    if args.metrics_out:
+        parser.error("--metrics-out requires --scenario")
     if not args.config:
-        parser.error("a config file is required (or --print-default-config)")
+        parser.error("a config file is required (or --print-default-config "
+                     "/ --scenario)")
 
     cfg = load_config(args.config)
     if args.seed is not None:

@@ -76,11 +76,12 @@ def config_to_json(cfg: ScenarioConfig, indent: int = 2) -> str:
     return json.dumps(doc, indent=indent, default=str)
 
 
-def config_from_json(text: str) -> ScenarioConfig:
-    """Build a ScenarioConfig from JSON text (partial configs allowed)."""
-    doc = json.loads(text)
+def config_from_dict(doc: Dict[str, Any]) -> ScenarioConfig:
+    """Build a ScenarioConfig from a plain dict (partial configs
+    allowed) — the shared core of JSON loading and the scenario DSL's
+    embedded ``base`` section."""
     if not isinstance(doc, dict):
-        raise ValueError("scenario config JSON must be an object")
+        raise ValueError("scenario config must be an object")
     kwargs: Dict[str, Any] = {}
     scenario_fields = {
         f.name: f for f in dataclasses.fields(ScenarioConfig)
@@ -99,6 +100,11 @@ def config_from_json(text: str) -> ScenarioConfig:
         else:
             kwargs[key] = value
     return ScenarioConfig(**kwargs)
+
+
+def config_from_json(text: str) -> ScenarioConfig:
+    """Build a ScenarioConfig from JSON text (partial configs allowed)."""
+    return config_from_dict(json.loads(text))
 
 
 def load_config(path: str) -> ScenarioConfig:

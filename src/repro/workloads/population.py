@@ -42,6 +42,19 @@ class PopulationConfig:
     replication: int = 2
     #: Object stream duration (seconds).
     object_duration: float = 60.0
+    #: Distribution of per-object stream durations around
+    #: ``object_duration``: ``fixed`` (every object identical — the
+    #: historic behavior), ``pareto`` or ``lognormal`` (heavy-tailed
+    #: task costs: a few elephant streams dominate the work).
+    duration_dist: str = "fixed"
+    #: Pareto tail index (smaller = heavier tail; must be > 1 so the
+    #: mean exists and can be pinned to ``object_duration``).
+    duration_pareto_alpha: float = 1.6
+    #: Lognormal sigma of the duration multiplier.
+    duration_sigma: float = 0.75
+    #: Cap on the duration multiplier (keeps one elephant from eating
+    #: the whole run).
+    duration_cap: float = 12.0
     #: Local scheduling policy for every peer.
     scheduling_policy: str = "LLS"
     #: Profiler update period (the E7 knob).
@@ -60,6 +73,17 @@ class PopulationConfig:
             raise ValueError("bandwidth_probs must sum to 1")
         if self.replication < 1:
             raise ValueError("replication must be >= 1")
+        if self.duration_dist not in ("fixed", "pareto", "lognormal"):
+            raise ValueError(
+                "duration_dist must be 'fixed', 'pareto' or 'lognormal', "
+                f"got {self.duration_dist!r}"
+            )
+        if self.duration_dist == "pareto" and self.duration_pareto_alpha <= 1:
+            raise ValueError("duration_pareto_alpha must be > 1")
+        if self.duration_sigma < 0:
+            raise ValueError("duration_sigma must be non-negative")
+        if self.duration_cap <= 0:
+            raise ValueError("duration_cap must be positive")
 
 
 def _sample_powers(
@@ -73,19 +97,43 @@ def _sample_powers(
     return rng.lognormal(mean=mu, sigma=np.sqrt(sigma2), size=cfg.n_peers)
 
 
+def _duration_multiplier(
+    cfg: PopulationConfig, rng: np.random.Generator
+) -> float:
+    """One heavy-tailed multiplier with mean ~1 (capped)."""
+    if cfg.duration_dist == "pareto":
+        # Lomax + 1 shifted so E[m] = 1 for alpha > 1.
+        a = cfg.duration_pareto_alpha
+        m = (1.0 + rng.pareto(a)) * (a - 1.0) / a
+    else:  # lognormal
+        s = cfg.duration_sigma
+        m = rng.lognormal(mean=-s * s / 2.0, sigma=s)
+    return float(min(m, cfg.duration_cap))
+
+
 def make_objects(
     catalog: MediaCatalog, cfg: PopulationConfig,
     rng: np.random.Generator,
 ) -> List[MediaObject]:
-    """The media objects stored in the system (high-quality sources)."""
+    """The media objects stored in the system (high-quality sources).
+
+    With ``duration_dist != "fixed"`` each object's stream duration is a
+    heavy-tailed draw around ``object_duration`` — since transcoding
+    work scales with duration, this turns the task-cost distribution
+    heavy-tailed too (a handful of elephant streams dominate).  The
+    ``fixed`` default draws nothing extra, so historic RNG trajectories
+    are untouched.
+    """
     sources = catalog.source_formats()
+    heavy = cfg.duration_dist != "fixed"
     objects = []
     for i in range(cfg.n_objects):
         fmt = sources[int(rng.integers(len(sources)))]
+        duration = cfg.object_duration
+        if heavy:
+            duration *= _duration_multiplier(cfg, rng)
         objects.append(
-            MediaObject(
-                name=f"obj{i}", fmt=fmt, duration_s=cfg.object_duration
-            )
+            MediaObject(name=f"obj{i}", fmt=fmt, duration_s=duration)
         )
     return objects
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.baselines.selectors import make_allocator
 from repro.core.estimate import CompletionTimeEstimator
@@ -18,8 +18,9 @@ from repro.overlay.churn import ChurnConfig, ChurnProcess
 from repro.overlay.failover import FailoverConfig
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.qualification import QualificationPolicy
+from repro.overlay.network import PeerSpec
 from repro.sim.core import Environment
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, set_ambient_streams
 from repro.sim.trace import Tracer
 from repro.workloads.arrivals import TaskArrivalProcess, WorkloadConfig
 from repro.workloads.catalog import MediaCatalog
@@ -106,13 +107,31 @@ class Scenario:
         return self.metrics.summary(net_stats=self.network.stats)
 
 
-def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
-    """Assemble a complete system from a :class:`ScenarioConfig`."""
+def build_scenario(
+    config: Optional[ScenarioConfig] = None,
+    *,
+    workload_cls: type = TaskArrivalProcess,
+    spec_transform: Optional[
+        Callable[[List[PeerSpec]], List[PeerSpec]]
+    ] = None,
+) -> Scenario:
+    """Assemble a complete system from a :class:`ScenarioConfig`.
+
+    ``workload_cls`` swaps the arrival process implementation (the
+    scenario DSL substitutes shaped arrivals); ``spec_transform`` maps
+    the generated peer specs before any peer joins (the DSL uses it to
+    inflate the claims of misbehaving peers so §4.1 qualification
+    ingests the lie).  Both default to the historic behavior.
+    """
     cfg = config or ScenarioConfig()
     # Repeated in-process runs must produce identical message ids; the
     # id counter is module-global, so rewind it per scenario.
     Message.reset_ids()
     streams = RandomStreams(cfg.seed)
+    # Components constructed later without an explicit rng (test shims,
+    # ad-hoc wiring) derive their fallback streams from this run's seed
+    # instead of OS entropy.
+    set_ambient_streams(streams)
     env = Environment()
     tracer = Tracer() if cfg.tracing else None
 
@@ -175,6 +194,8 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     pop_rng = streams.get("population")
     objects = make_objects(catalog, cfg.population, pop_rng)
     specs = generate_specs(catalog, cfg.population, pop_rng, objects=objects)
+    if spec_transform is not None:
+        specs = spec_transform(specs)
     # Bootstrap with a qualified leader: rotate the population so the
     # first joiner can create the initial domain — otherwise unqualified
     # early arrivals would be rejected into the void (a real overlay
@@ -196,7 +217,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
         )
         churn.watch_all()
 
-    workload = TaskArrivalProcess(
+    workload = workload_cls(
         overlay, catalog, objects,
         config=cfg.workload,
         rng=streams.get("arrivals"),

@@ -35,7 +35,6 @@ from repro.telemetry.dash import main as dash_main
 from repro.telemetry.export import read_jsonl, write_jsonl
 from repro.telemetry.httpd import TelemetryHTTPServer
 from repro.telemetry.metrics import (
-    METRIC_ALIASES,
     Histogram,
     MetricsRegistry,
     bucket_quantile,
@@ -358,22 +357,25 @@ class TestQuantiles:
             bucket_quantile([[1.0, 1]], 1.5)
 
 
-# -- metric-name aliases -----------------------------------------------------
+# -- metric names ------------------------------------------------------------
 
-class TestMetricAliases:
-    def test_old_names_resolve_to_canonical_family(self):
+class TestMetricNames:
+    def test_aliases_are_gone_names_are_literal(self):
+        # The PR-5 one-release alias read path is retired: pre-namespace
+        # names are now distinct families, not views of the canonical
+        # ones, and the alias table no longer exists.
+        assert not hasattr(
+            __import__("repro.telemetry.metrics", fromlist=["x"]),
+            "METRIC_ALIASES",
+        )
         registry = MetricsRegistry()
         registry.counter("net_messages_sent_total").inc(3)
         registry.counter("repro_net_messages_sent_total").inc(4)
-        assert registry.value("repro_net_messages_sent_total") == 7
-        assert registry.value("net_messages_sent_total") == 7
-        assert registry.total("udp_retransmits_total") == 0.0
-        assert registry.families() == ["repro_net_messages_sent_total"]
-
-    def test_every_alias_targets_repro_namespace(self):
-        for old, new in METRIC_ALIASES.items():
-            assert not old.startswith("repro_")
-            assert new.startswith("repro_")
+        assert registry.value("repro_net_messages_sent_total") == 4
+        assert registry.value("net_messages_sent_total") == 3
+        assert registry.families() == [
+            "net_messages_sent_total", "repro_net_messages_sent_total",
+        ]
 
     def test_qos_class_buckets(self):
         assert qos_class(2.5) == "high"

@@ -134,6 +134,128 @@ class TestFailureInjection:
             net.set_down("ghost")
 
 
+class TestPartitions:
+    def make_quad(self, env):
+        net = Network(env, ConstantLatency(0.01), bandwidth=1e9)
+        nodes = {nid: NetNode(env, net, nid) for nid in "abcd"}
+        got = {nid: [] for nid in "abcd"}
+        for nid, node in nodes.items():
+            node.on("m", lambda msg, nid=nid: got[nid].append(msg.src))
+        return net, nodes, got
+
+    def test_cross_group_send_dropped_and_attributed(self, env):
+        net, nodes, got = self.make_quad(env)
+        net.set_partition([["a", "b"], ["c", "d"]])
+        nodes["a"].send("m", "c")
+        env.run()
+        assert got["c"] == []
+        assert net.stats.dropped == 1
+        assert net.stats.partition_drops == 1
+
+    def test_same_group_delivery_unaffected(self, env):
+        net, nodes, got = self.make_quad(env)
+        net.set_partition([["a", "b"], ["c", "d"]])
+        nodes["a"].send("m", "b")
+        nodes["c"].send("m", "d")
+        env.run()
+        assert got["b"] == ["a"] and got["d"] == ["c"]
+        assert net.stats.partition_drops == 0
+
+    def test_unlisted_nodes_form_residual_group(self, env):
+        # Only one group listed: c and d fall into the implicit
+        # residual group — they reach each other but not the island.
+        net, nodes, got = self.make_quad(env)
+        net.set_partition([["a", "b"]])
+        nodes["c"].send("m", "d")
+        nodes["c"].send("m", "a")
+        env.run()
+        assert got["d"] == ["c"]
+        assert got["a"] == []
+        assert net.stats.partition_drops == 1
+
+    def test_heal_resumes_delivery(self, env):
+        net, nodes, got = self.make_quad(env)
+        net.set_partition([["a", "b"]])
+        nodes["a"].send("m", "c")
+        env.run()
+        assert got["c"] == [] and net.stats.partition_drops == 1
+        net.heal_partition()
+        assert not net.partitioned
+        nodes["a"].send("m", "c")
+        env.run()
+        assert got["c"] == ["a"]
+        assert net.stats.partition_drops == 1  # no new attribution
+
+    def test_in_flight_message_survives_partition(self, env):
+        # The drop happens at send time only: a message already in
+        # flight when the partition forms is still delivered.
+        net, nodes, got = self.make_quad(env)
+
+        def split():
+            yield env.timeout(0.001)
+            net.set_partition([["a", "b"]])
+
+        nodes["a"].send("m", "c")
+        env.process(split())
+        env.run()
+        assert got["c"] == ["a"]
+        assert net.stats.partition_drops == 0
+
+    def test_reachable_and_partitioned_flags(self, env):
+        net, _nodes, _got = self.make_quad(env)
+        assert not net.partitioned
+        assert net.reachable("a", "c")
+        net.set_partition([["a", "b"], ["c"]])
+        assert net.partitioned
+        assert net.reachable("a", "b")
+        assert not net.reachable("a", "c")
+        assert not net.reachable("b", "d")  # listed vs residual
+        assert net.reachable("d", "d")
+
+    def test_empty_partition_is_noop(self, env):
+        net, _nodes, _got = self.make_quad(env)
+        net.set_partition([])
+        assert not net.partitioned
+
+    def test_repartition_replaces_wholesale(self, env):
+        net, nodes, got = self.make_quad(env)
+        net.set_partition([["a"]])
+        net.set_partition([["a", "b", "c"]])
+        nodes["a"].send("m", "b")
+        env.run()
+        assert got["b"] == ["a"]
+
+    def test_partition_drops_are_subset_of_dropped(self, env):
+        net, nodes, _got = self.make_quad(env)
+        net.set_partition([["a", "b"]])
+        nodes["a"].send("m", "c")   # partition drop
+        nodes["a"].send("m", "ghost")  # unknown-destination drop
+        env.run()
+        assert net.stats.dropped == 2
+        assert net.stats.partition_drops == 1
+
+    def test_summary_schema_matches_live_aggregate(self, env):
+        """Sim summary() and the live cluster aggregate share one shape."""
+        from repro.runtime.cluster import LiveCluster
+
+        net, nodes, _got = self.make_quad(env)
+        net.set_partition([["a", "b"]])
+        nodes["a"].send("m", "c")
+        env.run()
+        summary = net.stats.summary()
+        assert summary["partition_drops"] == 1
+        class FakeCluster:
+            nodes: dict = {}
+            bootstrap = None
+            summaries = LiveCluster.summaries
+
+        agg = LiveCluster.aggregate_summary(FakeCluster())
+        # Every aggregated counter exists in the sim summary under the
+        # same name (the aggregate skips the per-run hottest_dst pair).
+        assert set(agg) <= set(summary)
+        assert "partition_drops" in agg
+
+
 class TestLatencyModels:
     def test_constant(self):
         m = ConstantLatency(0.2)

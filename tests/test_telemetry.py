@@ -163,7 +163,7 @@ class TestExport:
         tel.tracer.end_span_key("hop")
         tel.tracer.end_span_key("task:t1", status="completed")
         tel.tracer.event("rm.elected", node="boot", rm="rm0")
-        tel.metrics.counter("net_messages_sent_total").inc(3)
+        tel.metrics.counter("repro_net_messages_sent_total").inc(3)
         return tel
 
     def test_span_tree_round_trips_through_jsonl(self, tmp_path):
@@ -182,7 +182,6 @@ class TestExport:
         child = next(s for s in data.spans if s.kind == telemetry.SERVICE)
         assert by_id[child.parent_id].kind == telemetry.TASK
         assert data.events[0].name == "rm.elected"
-        # Registered through the legacy alias; exported canonically.
         assert any(
             m["name"] == "repro_net_messages_sent_total"
             and m["value"] == 3
@@ -308,9 +307,9 @@ class TestInstrumentedSim:
         assert {s.status for s in msg_spans} == {"ok", "dropped"}
         ok = next(s for s in msg_spans if s.status == "ok")
         assert ok.trace_id == "task:t1" and ok.node == "a"
-        assert tel.metrics.value("net_messages_sent_total") == 2
-        assert tel.metrics.value("net_messages_delivered_total") == 1
-        assert tel.metrics.value("net_messages_dropped_total") == 1
+        assert tel.metrics.value("repro_net_messages_sent_total") == 2
+        assert tel.metrics.value("repro_net_messages_delivered_total") == 1
+        assert tel.metrics.value("repro_net_messages_dropped_total") == 1
 
     def test_session_restores_previous_handle(self):
         assert telemetry.current() is telemetry.NOOP
@@ -341,7 +340,7 @@ def _sample_trace(tmp_path):
     )
     tel.tracer.end_span_key("m")
     tel.tracer.end_span_key("task:t1", status="completed")
-    tel.metrics.counter("net_messages_sent_total").inc(4)
+    tel.metrics.counter("net_messages_sent_total").inc(4)  # pre-rename trace
     tel.metrics.counter("net_messages_delivered_total").inc(4)
     path = tmp_path / "t.jsonl"
     write_jsonl(path, tel.tracer, tel.metrics)
