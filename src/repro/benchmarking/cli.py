@@ -45,6 +45,24 @@ def _format_table(records: List[harness.BenchRecord]) -> str:
     return "\n".join(out)
 
 
+def _print_hot_paths(
+    records: List[harness.BenchRecord], top_n: int = 5
+) -> None:
+    """The per-benchmark hot-path report (``--profile``)."""
+    for r in records:
+        prof = r.profile
+        if not prof:
+            continue
+        print(
+            f"\n{r.name}: {prof['samples']} samples / "
+            f"{prof['unique_stacks']} stacks; profiler overhead "
+            f"{prof['budget']['overhead_cumulative']:.2%}"
+        )
+        for entry in prof.get("top", [])[:top_n]:
+            leaf = entry["stack"].rsplit(";", 1)[-1]
+            print(f"  {entry['share']:6.1%}  {leaf}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench", description=__doc__,
@@ -104,11 +122,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the sampler adds kernel events, so sampled runs cannot be "
         "gated against an unsampled --baseline",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each benchmark under the wall-clock sampling profiler "
+        "and attach a per-benchmark hot-path report; the profiler "
+        "thread perturbs timing, so profiled runs cannot be gated "
+        "against --baseline",
+    )
     args = parser.parse_args(argv)
     if args.sample and args.baseline:
         parser.error(
             "--sample changes event counts; gate against a sampled "
             "baseline or drop --baseline"
+        )
+    if args.profile and args.baseline:
+        parser.error(
+            "--profile perturbs timing; measure regressions without it"
         )
 
     adversarial = args.suite == "adversarial"
@@ -151,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 quick=args.quick,
                 warmup=warmup,
                 repeat=repeat,
+                profile=args.profile,
                 progress=lambda name: print(
                     f"running scenario {name} "
                     f"(warmup={warmup}, repeat={repeat}) ...", flush=True
@@ -173,11 +203,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             record = harness.run_benchmark(
                 spec.name, spec.build(quick=args.quick, sample=args.sample),
                 params=params, warmup=warmup, repeat=repeat,
+                profile=args.profile,
             )
             records.append(record)
 
     print()
     print(_format_table(records))
+    if args.profile:
+        _print_hot_paths(records)
 
     out_path = args.out
     if out_path is None:

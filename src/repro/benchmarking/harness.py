@@ -84,9 +84,11 @@ class BenchRecord:
     peak_rss_kb: int
     phases: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Hot-path report from the best recorded run (``--profile`` only).
+    profile: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "params": self.params,
             "warmup": self.warmup,
@@ -98,6 +100,9 @@ class BenchRecord:
             "phases": self.phases,
             "metrics": self.metrics,
         }
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
 
 def run_benchmark(
@@ -106,21 +111,41 @@ def run_benchmark(
     params: Optional[Dict[str, Any]] = None,
     warmup: int = 1,
     repeat: int = 3,
+    profile: bool = False,
 ) -> BenchRecord:
-    """Measure *fn* with warmup/repeat discipline."""
+    """Measure *fn* with warmup/repeat discipline.
+
+    With ``profile=True``, each recorded run executes under the
+    wall-clock sampling profiler and the best run's hot-path report
+    lands in :attr:`BenchRecord.profile`.  The profiler thread adds a
+    little overhead, so profiled runs should not be gated against an
+    unprofiled baseline (the CLI refuses).
+    """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     for _ in range(warmup):
         fn()
     walls: List[float] = []
     best: Optional[Dict[str, Any]] = None
+    best_profile: Optional[Dict[str, Any]] = None
     for _ in range(repeat):
+        sess = None
+        if profile:
+            from repro.profiling import profile_wall
+
+            sess = profile_wall()
         t0 = time.perf_counter()
-        out = fn()
+        try:
+            out = fn()
+        finally:
+            if sess is not None:
+                sess.stop()
         wall = time.perf_counter() - t0
         walls.append(wall)
         if wall == min(walls):
             best = out
+            if sess is not None:
+                best_profile = sess.record(top_n=10)
     assert best is not None
     events = int(best.get("events", 0))
     best_wall = min(walls)
@@ -140,6 +165,7 @@ def run_benchmark(
         peak_rss_kb=peak_rss_kb(),
         phases=dict(best.get("phases", {})),
         metrics=dict(best.get("metrics", {})),
+        profile=best_profile,
     )
 
 

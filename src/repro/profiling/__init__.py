@@ -1,0 +1,62 @@
+"""Self-observation: in-process profiling, overhead budgeting, SLOs.
+
+The telemetry stack (:mod:`repro.telemetry`) observes the *protocol*;
+this package observes the *system running it*:
+
+* :mod:`repro.profiling.stacks` — bounded folded-stack aggregation and
+  flamegraph export,
+* :mod:`repro.profiling.sampler` — the two sampling drivers
+  (timer-thread ``sys._current_frames`` for the live runtime,
+  event-count dispatch sampling for the simulator),
+* :mod:`repro.profiling.budget` — the adaptive overhead budgeter
+  keeping total observability self-cost under a configured fraction of
+  wall time (default 2%),
+* :mod:`repro.profiling.slo` — SLO definitions + multi-window
+  burn-rate alerting over HealthSampler series, dumped to the flight
+  recorder,
+* :mod:`repro.profiling.attach` — one-call wiring per runtime
+  (:func:`profile_sim` / :func:`profile_wall`).
+
+Everything is stdlib-only and strictly opt-in: nothing here is
+imported or scheduled on the default path, so trajectory goldens and
+the zero-overhead guarantee of disabled telemetry hold.
+"""
+
+from repro.profiling.attach import (
+    ProfileSession,
+    profile_sim,
+    profile_wall,
+)
+from repro.profiling.budget import (
+    DEFAULT_BUDGET,
+    Actuator,
+    OverheadBudgeter,
+)
+from repro.profiling.sampler import (
+    SimEventProfiler,
+    WallStackProfiler,
+)
+from repro.profiling.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    BurnAlert,
+    BurnRateMonitor,
+)
+from repro.profiling.stacks import StackAggregator, fold_frames
+
+__all__ = [
+    "Actuator",
+    "BurnAlert",
+    "BurnRateMonitor",
+    "DEFAULT_BUDGET",
+    "DEFAULT_SLOS",
+    "OverheadBudgeter",
+    "ProfileSession",
+    "SLO",
+    "SimEventProfiler",
+    "StackAggregator",
+    "WallStackProfiler",
+    "fold_frames",
+    "profile_sim",
+    "profile_wall",
+]

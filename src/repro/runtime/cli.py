@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -82,6 +83,22 @@ def build_parser() -> argparse.ArgumentParser:
         "view with repro-dash",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the wall-clock sampling profiler + overhead "
+        "budgeter (and, with --sample, SLO burn-rate alerting over the "
+        "health series); writes a flame-ready .folded file on exit",
+    )
+    parser.add_argument(
+        "--profile-budget", type=float, default=None, metavar="FRAC",
+        help="observability overhead budget as a fraction of wall time "
+        "(default 0.02); the budgeter backs sampling off above it",
+    )
+    parser.add_argument(
+        "--profile-folded", metavar="FILE", default=None,
+        help="where to write the folded stacks (default: profile.folded "
+        "next to the trace, or ./profile.folded)",
+    )
+    parser.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="serve Prometheus text /metrics and /healthz on "
         "127.0.0.1:PORT while the run is live (0 = ephemeral port)",
@@ -119,22 +136,49 @@ async def run_live(
         )
     report: Dict[str, Any] = {"tasks": []}
     server = None
+    profile_sess = None
     async with cluster:
+        sampler = None
         if tel is not None and args.sample is not None:
-            report["sampler"] = cluster.start_health_sampler(
+            sampler = cluster.start_health_sampler(
                 tel, period=args.sample
             )
+            report["sampler"] = sampler
+        if args.profile:
+            from repro.profiling import DEFAULT_BUDGET, profile_wall
+
+            profile_sess = profile_wall(
+                tel=tel, sampler=sampler,
+                budget=(
+                    args.profile_budget
+                    if args.profile_budget is not None else DEFAULT_BUDGET
+                ),
+            )
+            report["profile_session"] = profile_sess
         if args.metrics_port is not None:
             if tel is None:
                 raise ValueError("--metrics-port requires --trace")
             from repro.telemetry.httpd import TelemetryHTTPServer
 
-            server = TelemetryHTTPServer(
-                tel.metrics.to_prometheus_text,
-                health_fn=lambda: {
+            def _metrics_text() -> str:
+                # Fold the live profiler/budgeter state into the
+                # registry on each scrape.
+                if profile_sess is not None:
+                    profile_sess.publish(tel.metrics)
+                return tel.metrics.to_prometheus_text()
+
+            def _health() -> Dict[str, Any]:
+                doc: Dict[str, Any] = {
                     "status": "ok",
                     "nodes": len(cluster.nodes),
-                },
+                }
+                if profile_sess is not None:
+                    doc["profiler"] = profile_sess.summary()
+                return doc
+
+            server = TelemetryHTTPServer(
+                _metrics_text,
+                health_fn=_health,
                 port=args.metrics_port,
             ).start()
             print(f"metrics endpoint: {server.url}/metrics",
@@ -166,6 +210,8 @@ async def run_live(
             report["summaries"] = cluster.summaries()
             report["aggregate"] = cluster.aggregate_summary()
         finally:
+            if profile_sess is not None:
+                profile_sess.stop()
             if server is not None:
                 server.close()
     return report
@@ -201,6 +247,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_logging(args.log_level, json_lines=args.log_json)
     if args.sample is not None and not args.trace:
         parser.error("--sample requires --trace")
+    if args.profile_budget is not None and not args.profile:
+        parser.error("--profile-budget requires --profile")
+    if args.profile_folded and not args.profile:
+        parser.error("--profile-folded requires --profile")
     if args.metrics_port is not None and not args.trace:
         parser.error("--metrics-port requires --trace (it serves the "
                      "run's metrics registry)")
@@ -209,11 +259,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         tel = telemetry.activate(telemetry.Telemetry.wall())
     report: Optional[Dict[str, Any]] = None
     sampler = None
+    profile_sess = None
     try:
         try:
             report = asyncio.run(run_live(args, tel=tel))
             if report is not None:
                 sampler = report.pop("sampler", None)
+                profile_sess = report.pop("profile_session", None)
         except (asyncio.TimeoutError, TimeoutError):
             print("error: live run timed out", file=sys.stderr)
             return 1
@@ -221,6 +273,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     finally:
+        if profile_sess is not None:
+            if tel is not None:
+                profile_sess.publish(tel.metrics)
+            folded = args.profile_folded or os.path.join(
+                os.path.dirname(args.trace) if args.trace else ".",
+                "profile.folded",
+            )
+            path = profile_sess.write_folded(folded)
+            info = profile_sess.summary()
+            print(
+                f"profiler: {info['samples']} samples / "
+                f"{info['unique_stacks']} stacks; overhead "
+                f"{info['overhead_ratio']:.2%} "
+                f"(budget {info['budget']:.0%}, "
+                f"{info['retunes']} retunes)"
+                + (f" -> {path}" if path else ""),
+                file=sys.stderr,
+            )
+            for alert in profile_sess.alerts:
+                print(
+                    f"SLO ALERT: {alert.slo} burning {alert.burn:.1f}x "
+                    f"({alert.window} window, t={alert.time:.1f}s)"
+                    + (f" -> {alert.dump}" if alert.dump else ""),
+                    file=sys.stderr,
+                )
         if tel is not None:
             tel.tracer.finish_open()
             meta: Dict[str, Any] = {"runtime": "live"}
@@ -229,6 +306,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             telemetry.export.write_jsonl(
                 args.trace, tel.tracer, tel.metrics, meta=meta,
                 sampler=sampler,
+                profile=(
+                    profile_sess.record() if profile_sess else None
+                ),
             )
             telemetry.deactivate()
             print(f"telemetry trace -> {args.trace}", file=sys.stderr)

@@ -43,6 +43,8 @@ class StressedScenario:
     sampler: Optional[Any] = None
     recorder: Optional[Any] = None
     summary: Optional[RunSummary] = None
+    #: The ProfileSession attached by :meth:`attach_profiling`, if any.
+    profile: Optional[Any] = None
 
     # -- convenience passthroughs ------------------------------------------
     @property
@@ -57,6 +59,51 @@ class StressedScenario:
     def network(self):
         return self.scenario.network
 
+    # -- profiling ---------------------------------------------------------
+    def attach_profiling(
+        self,
+        budget: Optional[float] = None,
+        stride: Optional[int] = None,
+        out_dir: str = ".",
+    ):
+        """Arm the self-observation bundle (``repro-run --profile``).
+
+        Attaches a :func:`~repro.profiling.profile_sim` session: the
+        event-count profiler, the overhead budgeter, and — when the spec
+        has a ``health`` section — SLO burn-rate monitoring over the
+        sampler series.  Specs that disabled the flight recorder get one
+        created here anyway so SLO alerts have somewhere to dump.
+        """
+        from repro.profiling import profile_sim
+        from repro.profiling.budget import DEFAULT_BUDGET
+        from repro.profiling.sampler import DEFAULT_STRIDE
+
+        if (
+            self.tel is not None
+            and self.sampler is not None
+            and self.recorder is None
+        ):
+            from repro.telemetry.flight_recorder import FlightRecorder
+
+            health = self.spec.health
+            self.recorder = FlightRecorder(
+                self.tel,
+                out_dir=out_dir,
+                miss_burst=health.miss_burst,
+                miss_window=health.miss_window,
+                cooldown=health.cooldown,
+                sampler=self.sampler,
+            )
+        self.profile = profile_sim(
+            self.env,
+            tel=self.tel,
+            sampler=self.sampler,
+            recorder=self.recorder,
+            budget=DEFAULT_BUDGET if budget is None else budget,
+            stride=DEFAULT_STRIDE if stride is None else stride,
+        )
+        return self.profile
+
     # -- execution ---------------------------------------------------------
     def run(self) -> RunSummary:
         """Run the scripted duration + drain; returns the RunSummary."""
@@ -65,12 +112,17 @@ class StressedScenario:
                 self.summary = self.scenario.run(
                     self.spec.duration, drain=self.spec.drain
                 )
+                if self.profile is not None:
+                    self.profile.stop()
+                    self.profile.publish(self.tel.metrics)
                 if self.recorder is not None:
                     self.recorder.close()
         else:
             self.summary = self.scenario.run(
                 self.spec.duration, drain=self.spec.drain
             )
+            if self.profile is not None:
+                self.profile.stop()
         return self.summary
 
     # -- reporting ---------------------------------------------------------
@@ -128,6 +180,8 @@ class StressedScenario:
                 list(self.recorder.dumps) if self.recorder else []
             ),
         }
+        if self.profile is not None:
+            doc["profile"] = self.profile.record(top_n=10)
         return doc
 
 

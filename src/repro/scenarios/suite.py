@@ -74,6 +74,7 @@ def run_suite(
     repeat: int = 1,
     out_dir: str = ".",
     progress: Optional[Callable[[str], None]] = None,
+    profile: bool = False,
 ) -> List[harness.BenchRecord]:
     """Run the discovered scenario configs; returns their records.
 
@@ -103,6 +104,7 @@ def run_suite(
             params={"config": path, "quick": quick},
             warmup=warmup,
             repeat=repeat,
+            profile=profile,
         )
         records.append(record)
     return records

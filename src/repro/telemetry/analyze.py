@@ -16,8 +16,8 @@ from repro.telemetry.tracer import MESSAGE, SERVICE, TASK, Span
 
 #: NetworkStats counter names surfaced in the reliability summary.
 _RELIABILITY_KEYS = (
-    "sent", "delivered", "dropped", "retransmits", "duplicates",
-    "malformed", "acks_sent",
+    "sent", "delivered", "dropped", "partition_drops", "retransmits",
+    "duplicates", "malformed", "acks_sent",
 )
 
 
@@ -142,9 +142,12 @@ def reliability_summary(data: TraceData) -> Dict[str, float]:
             out[key] += rec.get("value", 0.0)
             seen = True
     agg = data.meta.get("aggregate")
-    if not seen and isinstance(agg, dict):
+    if isinstance(agg, dict):
+        # The aggregate is the same ground truth the counters came
+        # from; fill any key the metric records didn't cover (e.g.
+        # partition_drops, which has no counter family).
         for key in _RELIABILITY_KEYS:
-            if key in agg:
+            if key in agg and (not seen or out[key] == 0.0):
                 out[key] = float(agg[key])
     return out
 

@@ -132,6 +132,61 @@ def render_report(
             " ".join(f"{k}={n}" for k, n in sorted(events.items()))
         )
 
+    if data.profile:
+        prof = data.profile
+        budget = prof.get("budget", {})
+        heading("profiler")
+        rate = (
+            f"stride={prof['stride']}" if "stride" in prof
+            else f"period={prof.get('period', '?')}s"
+        )
+        lines.append(
+            f"runtime={prof.get('runtime', '?')} "
+            f"samples={prof.get('samples', 0)} "
+            f"stacks={prof.get('unique_stacks', 0)} {rate} "
+            f"overhead={budget.get('overhead_cumulative', 0.0):.2%} "
+            f"(budget {budget.get('target', 0.0):.0%}, "
+            f"{budget.get('backoffs', 0)} backoffs / "
+            f"{budget.get('recovers', 0)} recovers)"
+        )
+        top = prof.get("top", [])
+        if markdown and top:
+            lines.append("| share | hot path |")
+            lines.append("|---|---|")
+        for entry in top[:8]:
+            if markdown:
+                lines.append(
+                    f"| {entry['share']:.1%} | `{entry['stack']}` |"
+                )
+            else:
+                lines.append(f"  {entry['share']:6.1%}  {entry['stack']}")
+        settings = budget.get("settings") or {}
+        if settings:
+            lines.append(
+                "knobs: " + " ".join(
+                    f"{k}={v:g}" for k, v in sorted(settings.items())
+                )
+            )
+        slo = prof.get("slo")
+        if slo is not None:
+            heading("slo burn")
+            for s in slo.get("slos", []):
+                lines.append(
+                    f"  {s['name']}: {s['series']} "
+                    f"{s.get('comparison', '>')} {s['threshold']:g} "
+                    f"(objective {s['objective']:.0%})"
+                )
+            alerts = slo.get("alerts", [])
+            for a in alerts:
+                lines.append(
+                    f"  ALERT t={a['time']:g} {a['slo']} "
+                    f"({a['window']} window) burn={a['burn']:g}x "
+                    f"bad={a['bad_fraction']:.1%}"
+                    + (f" -> {a['dump']}" if a.get("dump") else "")
+                )
+            if not alerts:
+                lines.append("  no burn alerts")
+
     if bundle is not None:
         heading("flight recorder")
         meta = bundle.meta
@@ -165,6 +220,8 @@ def report_dict(
         "histograms": histogram_summaries(data),
         "events": control_event_counts(data),
     }
+    if data.profile:
+        doc["profile"] = data.profile
     if bundle is not None:
         doc["flight"] = {
             "meta": bundle.meta,

@@ -7,6 +7,7 @@ Line types::
     {"type": "event",  "time": 0.2, "name": "rm.elected", ...}
     {"type": "metric", "name": "repro_udp_retransmits_total", ...}
     {"type": "series", "name": "repro_peer_load", "t": [...], "v": [...]}
+    {"type": "profile", "runtime": "sim", "top": [...], "budget": {...}}
 
 The format is append-friendly (a crashed run still yields a readable
 prefix) and greppable; :func:`read_jsonl` tolerates unknown line types
@@ -36,6 +37,8 @@ class TraceData:
     events: List[TraceEvent] = field(default_factory=list)
     metrics: List[Dict[str, Any]] = field(default_factory=list)
     series: List[Dict[str, Any]] = field(default_factory=list)
+    #: The run's profiler summary (``--profile``), or None.
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def clock(self) -> str:
@@ -47,6 +50,7 @@ def iter_records(
     metrics: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
     sampler=None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> Iterable[Dict[str, Any]]:
     """All records of one trace file, meta line first."""
     head: Dict[str, Any] = {
@@ -75,6 +79,10 @@ def iter_records(
             rec = dict(rec)
             rec["type"] = "series"
             yield rec
+    if profile is not None:
+        rec = dict(profile)
+        rec["type"] = "profile"
+        yield rec
 
 
 def write_jsonl(
@@ -83,10 +91,12 @@ def write_jsonl(
     metrics: Optional[MetricsRegistry] = None,
     meta: Optional[Dict[str, Any]] = None,
     sampler=None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> int:
     """Write a trace file; returns the number of records written."""
     records = iter_records(
-        tracer, metrics=metrics, meta=meta, sampler=sampler
+        tracer, metrics=metrics, meta=meta, sampler=sampler,
+        profile=profile,
     )
     if isinstance(dest, (str, os.PathLike)):
         with open(dest, "w", encoding="utf-8") as fp:
@@ -138,5 +148,9 @@ def _read(fp: IO[str]) -> TraceData:
             data.series.append(
                 {k: v for k, v in rec.items() if k != "type"}
             )
+        elif rtype == "profile":
+            data.profile = {
+                k: v for k, v in rec.items() if k != "type"
+            }
         # unknown types: skipped (forward compatibility)
     return data

@@ -12,6 +12,13 @@ three anomaly signatures:
 * ``udp_retry_storm`` — more than ``retry_burst`` ``udp.retry`` events
   inside ``retry_window`` seconds.
 
+External detectors can also request dumps through :meth:`trigger` —
+the SLO burn-rate monitor (:mod:`repro.profiling.slo`) uses reasons
+``slo_burn_fast`` / ``slo_burn_slow``.  Suppressed (cooling-down)
+requests are visible via the
+``repro_flightrecorder_dump_skipped_total`` counter and the
+``repro_flightrecorder_cooldown_active{reason=...}`` gauge.
+
 On a trigger it dumps the last ``window`` seconds of the ring — plus
 the current sampler series and a metrics snapshot — to a JSONL bundle
 (``flight-NNN-<reason>.jsonl``), then goes quiet for ``cooldown``
@@ -71,10 +78,15 @@ class FlightRecorder:
         )
         self._miss_times: Deque[float] = deque(maxlen=self.miss_burst + 1)
         self._retry_times: Deque[float] = deque(maxlen=self.retry_burst + 1)
+        #: Cooldown key -> last dump time (key defaults to the reason).
         self._last_dump: Dict[str, float] = {}
+        #: Cooldown key -> reason, for the per-reason gauges.
+        self._reasons: Dict[str, str] = {}
         #: Paths of bundles written, in order.
         self.dumps: List[str] = []
         self.n_triggers = 0
+        #: Per-reason count of dumps suppressed by the cooldown.
+        self.skipped: Dict[str, int] = {}
         self._closed = False
         tel.tracer.add_listener(self._on_record)
 
@@ -109,12 +121,68 @@ class FlightRecorder:
 
     # -- triggering --------------------------------------------------------
     def _trigger(self, reason: str, now: float) -> None:
-        last = self._last_dump.get(reason)
+        self.trigger(reason, now)
+
+    def trigger(
+        self,
+        reason: str,
+        now: Optional[float] = None,
+        key: Optional[str] = None,
+    ) -> Optional[str]:
+        """Request a dump for *reason*, honouring the per-reason cooldown.
+
+        External anomaly detectors (e.g. the SLO burn-rate monitor) call
+        this instead of :meth:`dump` so sustained anomalies coalesce.
+        *key* narrows the cooldown domain below the reason (the SLO
+        monitor passes ``slo_burn_fast:miss_rate`` so one SLO's dump
+        doesn't shadow a different SLO sharing the same reason) —
+        bundle naming and metric labels still use *reason* alone.
+        Returns the bundle path, or ``None`` when suppressed; suppressed
+        requests are counted in ``skipped`` and the
+        ``repro_flightrecorder_dump_skipped_total`` counter.
+        """
+        if now is None:
+            now = self.tel.clock.now()
+        k = key or reason
+        self._reasons[k] = reason
+        last = self._last_dump.get(k)
         if last is not None and now - last < self.cooldown:
-            return
-        self._last_dump[reason] = now
+            self.skipped[reason] = self.skipped.get(reason, 0) + 1
+            self.tel.metrics.counter(
+                "repro_flightrecorder_dump_skipped_total",
+                help="Flight-recorder dumps suppressed by the cooldown.",
+                reason=reason,
+            ).inc()
+            self._cooldown_gauge(reason).set(1.0)
+            return None
+        self._last_dump[k] = now
         self.n_triggers += 1
-        self.dump(reason, now)
+        self._cooldown_gauge(reason).set(1.0)
+        return self.dump(reason, now)
+
+    def _cooldown_gauge(self, reason: str):
+        return self.tel.metrics.gauge(
+            "repro_flightrecorder_cooldown_active",
+            help="1 while dumps for this reason are in cooldown.",
+            reason=reason,
+        )
+
+    def refresh_cooldowns(self, now: Optional[float] = None) -> None:
+        """Re-evaluate the per-reason cooldown gauges at *now*.
+
+        The gauges are set on trigger; call this periodically (the
+        profiling wiring registers it as a sampler probe) so they fall
+        back to 0 once a cooldown expires.
+        """
+        if now is None:
+            now = self.tel.clock.now()
+        by_reason: Dict[str, float] = {}
+        for key, last in self._last_dump.items():
+            reason = self._reasons.get(key, key)
+            active = 1.0 if now - last < self.cooldown else 0.0
+            by_reason[reason] = max(by_reason.get(reason, 0.0), active)
+        for reason, active in by_reason.items():
+            self._cooldown_gauge(reason).set(active)
 
     def dump(self, reason: str, now: Optional[float] = None) -> str:
         """Write the windowed bundle; returns the bundle path."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Default sampling period, seconds (sim or wall, per driver).
@@ -53,26 +54,92 @@ def qos_class(importance: float) -> str:
 
 
 class SeriesRing:
-    """One bounded time series: (t, value) pairs in a ring buffer."""
+    """One bounded time series: (t, value) points in a ring buffer.
 
-    __slots__ = ("name", "labels", "_t", "_v")
+    Two retention modes share the hard memory ceiling ``capacity``:
+
+    * **drop-oldest** (default) — a plain ring: the oldest point falls
+      off when a new one arrives at capacity.
+    * **rollup** (``rollup=True``) — when full, the *oldest half* is
+      downsampled pairwise: adjacent points merge into one carrying the
+      count-weighted mean time/value plus the running min/max/count.
+      Long soaks keep their full history at progressively coarser
+      resolution (recent samples stay raw) instead of forgetting it.
+    """
+
+    __slots__ = (
+        "name", "labels", "capacity", "rollup",
+        "_t", "_v", "_mn", "_mx", "_n",
+    )
 
     def __init__(
         self,
         name: str,
         labels: Optional[Dict[str, str]] = None,
         capacity: int = DEFAULT_CAPACITY,
+        rollup: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
         self.labels: Dict[str, str] = dict(labels or {})
-        self._t: deque = deque(maxlen=capacity)
-        self._v: deque = deque(maxlen=capacity)
+        self.capacity = int(capacity)
+        self.rollup = bool(rollup)
+        if rollup:
+            self._t: deque = deque()
+            self._v: deque = deque()
+            self._mn: Optional[deque] = deque()
+            self._mx: Optional[deque] = deque()
+            self._n: Optional[deque] = deque()
+        else:
+            self._t = deque(maxlen=capacity)
+            self._v = deque(maxlen=capacity)
+            self._mn = self._mx = self._n = None
 
     def append(self, t: float, v: float) -> None:
-        self._t.append(float(t))
-        self._v.append(float(v))
+        t = float(t)
+        v = float(v)
+        if self.rollup:
+            if len(self._v) >= self.capacity:
+                self._compact()
+            self._mn.append(v)
+            self._mx.append(v)
+            self._n.append(1)
+        self._t.append(t)
+        self._v.append(v)
+
+    def _compact(self) -> None:
+        """Pairwise-merge the oldest half of the ring (rollup mode)."""
+        ts, vs = list(self._t), list(self._v)
+        mns, mxs, ns = list(self._mn), list(self._mx), list(self._n)
+        half = len(ts) // 2
+        m_t: List[float] = []
+        m_v: List[float] = []
+        m_mn: List[float] = []
+        m_mx: List[float] = []
+        m_n: List[int] = []
+        i = 0
+        while i + 1 < half:
+            n = ns[i] + ns[i + 1]
+            m_t.append((ts[i] * ns[i] + ts[i + 1] * ns[i + 1]) / n)
+            m_v.append((vs[i] * ns[i] + vs[i + 1] * ns[i + 1]) / n)
+            m_mn.append(min(mns[i], mns[i + 1]))
+            m_mx.append(max(mxs[i], mxs[i + 1]))
+            m_n.append(n)
+            i += 2
+        if i < half:
+            # Odd-sized old half: the unpaired point carries over as-is.
+            m_t.append(ts[i])
+            m_v.append(vs[i])
+            m_mn.append(mns[i])
+            m_mx.append(mxs[i])
+            m_n.append(ns[i])
+            i += 1
+        self._t = deque(m_t + ts[half:])
+        self._v = deque(m_v + vs[half:])
+        self._mn = deque(m_mn + mns[half:])
+        self._mx = deque(m_mx + mxs[half:])
+        self._n = deque(m_n + ns[half:])
 
     def __len__(self) -> int:
         return len(self._v)
@@ -87,25 +154,103 @@ class SeriesRing:
     def values(self) -> List[float]:
         return list(self._v)
 
+    def counts(self) -> List[int]:
+        """Per-point sample counts (all 1 unless rollup has merged)."""
+        if self._n is not None:
+            return list(self._n)
+        return [1] * len(self._v)
+
+    def points(self) -> List[Tuple[float, float, float, float, int]]:
+        """All points as ``(t, mean, min, max, count)`` tuples."""
+        if self.rollup:
+            return list(zip(self._t, self._v, self._mn, self._mx, self._n))
+        return [(t, v, v, v, 1) for t, v in zip(self._t, self._v)]
+
+    def points_since(
+        self, t_min: float
+    ) -> List[Tuple[float, float, float, float, int]]:
+        """Points with ``t >= t_min`` (newest window), oldest first.
+
+        Scans from the newest point and stops at the window edge, so a
+        short trailing window over a long ring stays cheap (the SLO
+        monitor calls this every evaluation).
+        """
+        if self.rollup:
+            it = zip(
+                reversed(self._t), reversed(self._v),
+                reversed(self._mn), reversed(self._mx), reversed(self._n),
+            )
+        else:
+            it = (
+                (t, v, v, v, 1)
+                for t, v in zip(reversed(self._t), reversed(self._v))
+            )
+        out: List[Tuple[float, float, float, float, int]] = []
+        for point in it:
+            if point[0] < t_min:
+                break
+            out.append(point)
+        out.reverse()
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Count-weighted q-quantile of the stored values.
+
+        Rolled-up points weigh in with their merged sample count, so
+        quantiles stay comparable before and after downsampling (up to
+        within-pair averaging).
+        """
+        if not self._v:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        if self.rollup:
+            pairs = sorted(zip(self._v, self._n))
+        else:
+            pairs = sorted((v, 1) for v in self._v)
+        total = sum(n for _, n in pairs)
+        target = q * total
+        running = 0
+        for v, n in pairs:
+            running += n
+            if running >= target:
+                return v
+        return pairs[-1][0]
+
     def as_record(self) -> Dict[str, Any]:
         """The JSONL ``series`` record (sans the ``type`` tag)."""
-        return {
+        rec = {
             "name": self.name,
             "labels": dict(self.labels),
             "t": [round(t, 6) for t in self._t],
             "v": [round(v, 6) for v in self._v],
         }
+        if self.rollup:
+            rec["n"] = list(self._n)
+        return rec
 
     @classmethod
     def from_record(cls, rec: Dict[str, Any]) -> "SeriesRing":
         times = rec.get("t", [])
         values = rec.get("v", [])
+        counts = rec.get("n")
         ring = cls(
             rec.get("name", "?"), rec.get("labels"),
             capacity=max(1, len(values)),
+            rollup=counts is not None,
         )
-        for t, v in zip(times, values):
-            ring.append(t, v)
+        if counts is not None:
+            # Restore without re-compacting (the ring arrives exactly
+            # at capacity); merged points keep their counts, min/max
+            # degrade to the stored mean.
+            for t, v, n in zip(times, values, counts):
+                ring._t.append(float(t))
+                ring._v.append(float(v))
+                ring._mn.append(float(v))
+                ring._mx.append(float(v))
+                ring._n.append(int(n))
+        else:
+            for t, v in zip(times, values):
+                ring.append(t, v)
         return ring
 
     def __repr__(self) -> str:
@@ -127,17 +272,22 @@ class HealthSampler:
         tel,
         period: float = DEFAULT_PERIOD,
         capacity: int = DEFAULT_CAPACITY,
+        rollup: bool = True,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self.tel = tel
         self.period = float(period)
         self.capacity = int(capacity)
+        self.rollup = bool(rollup)
         self._series: Dict[_SeriesKey, SeriesRing] = {}
         self._probes: List[Callable[["HealthSampler"], None]] = []
         self.n_samples = 0
         #: Probe exceptions swallowed (live probes race the event loop).
         self.errors = 0
+        #: Cumulative wall seconds spent inside :meth:`sample` — the
+        #: sampler's self-cost, read by the overhead budgeter.
+        self.sample_cost_s = 0.0
         self._now = 0.0
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -158,12 +308,14 @@ class HealthSampler:
         ring = self._series.get(key)
         if ring is None:
             ring = self._series[key] = SeriesRing(
-                name, dict(key[1]), capacity=self.capacity
+                name, dict(key[1]),
+                capacity=self.capacity, rollup=self.rollup,
             )
         ring.append(self._now, value)
 
     def sample(self) -> None:
         """Take one snapshot: run every probe at the current clock time."""
+        t0 = perf_counter()
         self._now = self.tel.clock.now()
         for probe in self._probes:
             try:
@@ -173,11 +325,20 @@ class HealthSampler:
                 # must not kill the sampler; the error count is visible.
                 self.errors += 1
         self.n_samples += 1
+        self.sample_cost_s += perf_counter() - t0
 
     # -- access ------------------------------------------------------------
     def series(self, name: str, **labels: Any) -> Optional[SeriesRing]:
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         return self._series.get(key)
+
+    def series_family(self, name: str) -> List[SeriesRing]:
+        """All rings of one family (any label set), label-sorted."""
+        return [
+            self._series[key]
+            for key in sorted(self._series)
+            if key[0] == name
+        ]
 
     def all_series(self) -> List[SeriesRing]:
         return [self._series[k] for k in sorted(self._series)]
@@ -348,11 +509,15 @@ def overlay_probes(
         rates = net_rates.rates(s.now, {
             "sent": stats.sent,
             "dropped": stats.dropped,
+            "partition_drops": getattr(stats, "partition_drops", 0),
             "retransmits": stats.retransmits,
             "duplicates": stats.duplicates,
         })
         s.observe("repro_net_send_rate", rates["sent"])
         s.observe("repro_net_drop_rate", rates["dropped"])
+        s.observe(
+            "repro_net_partition_drop_rate", rates["partition_drops"]
+        )
         s.observe("repro_net_retry_rate", rates["retransmits"])
         s.observe("repro_net_dup_rate", rates["duplicates"])
 
@@ -429,11 +594,15 @@ def live_cluster_probes(cluster) -> List[Callable[[HealthSampler], None]]:
         rates = net_rates.rates(s.now, {
             "sent": agg["sent"],
             "dropped": agg["dropped"],
+            "partition_drops": agg.get("partition_drops", 0),
             "retransmits": agg["retransmits"],
             "duplicates": agg["duplicates"],
         })
         s.observe("repro_net_send_rate", rates["sent"])
         s.observe("repro_net_drop_rate", rates["dropped"])
+        s.observe(
+            "repro_net_partition_drop_rate", rates["partition_drops"]
+        )
         s.observe("repro_net_retry_rate", rates["retransmits"])
         s.observe("repro_net_dup_rate", rates["duplicates"])
 

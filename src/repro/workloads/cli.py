@@ -37,6 +37,10 @@ def _run_scenario(args) -> int:
         os.path.dirname(args.metrics_out) if args.metrics_out else "."
     ) or "."
     stressed = build_stressed_scenario(spec, out_dir=out_dir)
+    if args.profile:
+        stressed.attach_profiling(
+            budget=args.profile_budget, out_dir=out_dir
+        )
     scenario = stressed.scenario
     print(
         f"scenario {spec.name!r}: {scenario.overlay.n_peers} peers / "
@@ -59,6 +63,26 @@ def _run_scenario(args) -> int:
     if stressed.recorder is not None:
         for path in stressed.recorder.dumps:
             print(f"flight-recorder bundle -> {path}")
+    if stressed.profile is not None:
+        sess = stressed.profile
+        folded = args.profile_folded or os.path.join(
+            out_dir, f"profile-{spec.name}.folded"
+        )
+        path = sess.write_folded(folded)
+        info = sess.summary()
+        print(
+            f"profiler: {info['samples']} samples / "
+            f"{info['unique_stacks']} stacks; overhead "
+            f"{info['overhead_ratio']:.2%} (budget {info['budget']:.0%}, "
+            f"{info['retunes']} retunes)"
+            + (f" -> {path}" if path else "")
+        )
+        for alert in sess.alerts:
+            print(
+                f"SLO ALERT: {alert.slo} burning {alert.burn:.1f}x "
+                f"({alert.window} window, t={alert.time:.1f}s)"
+                + (f" -> {alert.dump}" if alert.dump else "")
+            )
     if len(scenario.metrics.fairness_series):
         _, values = scenario.metrics.fairness_series.as_arrays()
         print(f"fairness over time: {sparkline(values, width=60)}")
@@ -131,12 +155,33 @@ def main(argv: list[str] | None = None) -> int:
         "land next to the trace file).",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the in-process sampling profiler + overhead "
+        "budgeter (and, when health series are sampled, SLO burn-rate "
+        "alerting); writes a flame-ready .folded file.  Observation "
+        "only: the event trajectory is unchanged.",
+    )
+    parser.add_argument(
+        "--profile-budget", type=float, default=None, metavar="FRAC",
+        help="observability overhead budget as a fraction of wall time "
+        "(default 0.02); the budgeter backs sampling off above it",
+    )
+    parser.add_argument(
+        "--profile-folded", metavar="FILE", default=None,
+        help="where to write the folded stacks (default: profile.folded "
+        "next to the trace / metrics output)",
+    )
+    parser.add_argument(
         "--print-default-config", action="store_true",
         help="emit the default ScenarioConfig as JSON and exit",
     )
     args = parser.parse_args(argv)
     if args.sample is not None and not args.trace:
         parser.error("--sample requires --trace")
+    if args.profile_budget is not None and not args.profile:
+        parser.error("--profile-budget requires --profile")
+    if args.profile_folded and not args.profile:
+        parser.error("--profile-folded requires --profile")
 
     if args.print_default_config:
         print(config_to_json(ScenarioConfig()))
@@ -188,9 +233,44 @@ def main(argv: list[str] | None = None) -> int:
                 out_dir=os.path.dirname(args.trace) or ".",
                 sampler=sampler,
             )
+    profile_sess = None
+    if args.profile:
+        from repro.profiling import profile_sim
+
+        profile_sess = profile_sim(
+            scenario.env, tel=tel, sampler=sampler, recorder=recorder_fr,
+            budget=(
+                args.profile_budget
+                if args.profile_budget is not None else 0.02
+            ),
+        )
     try:
         summary = scenario.run(duration=args.duration, drain=args.drain)
     finally:
+        if profile_sess is not None:
+            profile_sess.stop()
+            if tel is not None:
+                profile_sess.publish(tel.metrics)
+            folded = args.profile_folded or os.path.join(
+                os.path.dirname(args.trace) if args.trace else ".",
+                "profile.folded",
+            )
+            path = profile_sess.write_folded(folded)
+            info = profile_sess.summary()
+            print(
+                f"profiler: {info['samples']} samples / "
+                f"{info['unique_stacks']} stacks; overhead "
+                f"{info['overhead_ratio']:.2%} "
+                f"(budget {info['budget']:.0%}, "
+                f"{info['retunes']} retunes)"
+                + (f" -> {path}" if path else "")
+            )
+            for alert in profile_sess.alerts:
+                print(
+                    f"SLO ALERT: {alert.slo} burning {alert.burn:.1f}x "
+                    f"({alert.window} window, t={alert.time:.1f}s)"
+                    + (f" -> {alert.dump}" if alert.dump else "")
+                )
         if tel is not None:
             tel.tracer.finish_open()
             telemetry.export.write_jsonl(
@@ -201,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
                     "aggregate": scenario.network.stats.summary(),
                 },
                 sampler=sampler,
+                profile=(
+                    profile_sess.record() if profile_sess else None
+                ),
             )
             if recorder_fr is not None:
                 recorder_fr.close()
