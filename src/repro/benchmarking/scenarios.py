@@ -14,8 +14,11 @@ Two families:
     Isolated hot paths (event kernel, network send, mailbox traffic)
     for attributing a macro-level regression to a subsystem.
 
-Every benchmark is deterministic: fixed seeds, no wall-clock
-dependence inside the simulated world.
+Every macro/micro benchmark is deterministic: fixed seeds, no
+wall-clock dependence inside the simulated world.  The *live* family
+(the sharded multi-process soak) is the exception — wall-clock by
+nature, excluded from ``--quick`` and from events/sec regression
+gating; it contributes an acceptance sweep, not a perf number.
 """
 
 from __future__ import annotations
@@ -56,6 +59,48 @@ class BenchSpec:
         if quick:
             params.update(self.quick_params)
         return params
+
+
+# -- live (wall-clock, multi-process) ----------------------------------------
+
+def _live_soak(
+    peers: int, shards: int, duration: float, rate: float,
+    kill: bool = True, drain: bool = True, seed: int = 7,
+) -> Callable:
+    """The sharded runtime soak (``repro-live-soak``) as a ladder rung.
+
+    Wall-clock and multi-process, so excluded from ``--quick`` and
+    never regression-gated on events/sec — its value is the pass/fail
+    acceptance sweep (respawn, convergence, task conservation) plus
+    the task-throughput metrics it reports.
+    """
+
+    def fn() -> Dict[str, Any]:
+        import asyncio
+
+        from repro.runtime.soak import SoakConfig, run_soak
+
+        cfg = SoakConfig(
+            peers=peers, shards=shards, duration=duration,
+            task_rate=rate, kill=kill, drain=drain, seed=seed,
+        )
+        result = asyncio.run(run_soak(cfg))
+        if not result["ok"]:
+            raise AssertionError(f"live soak failed: {result}")
+        counts = result.get("tasks", {})
+        return {
+            "events": counts.get("seen", 0),
+            "metrics": {
+                "tasks_terminal": counts.get("terminal", 0),
+                "tasks_completed": counts.get("completed", 0),
+                "tasks_open": counts.get("open", 0),
+                "submit_failures": counts.get("submit_failures", 0),
+                "restarts": sum(result.get("restarts", {}).values()),
+                "converged": int(result["converged"]),
+            },
+        }
+
+    return fn
 
 
 # -- macro scenarios ---------------------------------------------------------
@@ -335,6 +380,12 @@ BENCHES: List[BenchSpec] = [
         params={"n_domains": 24, "peers_per_domain": 2,
                 "duration": 120.0, "seed": 13},
         quick_params={"n_domains": 10, "duration": 40.0},
+    ),
+    BenchSpec(
+        name="live_soak_200", family="live", make=_live_soak,
+        params={"peers": 200, "shards": 4, "duration": 20.0,
+                "rate": 4.0, "seed": 7},
+        quick=False,
     ),
     BenchSpec(
         name="micro_event_kernel", family="micro", make=_micro_kernel,

@@ -20,6 +20,21 @@ fabric underneath them:
 :mod:`repro.runtime.cluster`
     :class:`LiveCluster`: an in-process N-peers-plus-RM harness for
     tests and demos.
+:mod:`repro.runtime.roster`
+    The decentralized membership replica (ring-ordered, versioned,
+    gossip-merged) behind the sharded runtime.
+:mod:`repro.runtime.agent`
+    :class:`RosterAgent`: one per shard process — answers joins,
+    gossips the roster, runs the coordinator-side election trigger.
+:mod:`repro.runtime.shard`
+    :class:`ShardHost`: a child process pumping its bucket of
+    :class:`LiveNode` s, reporting over the supervisor's control pipe.
+:mod:`repro.runtime.supervisor`
+    :class:`ClusterSupervisor`: spawns/respawns shards, relays task
+    events, aggregates ``/metrics``, orchestrates drains.
+:mod:`repro.runtime.soak`
+    The ``repro-live-soak`` scenario: sustained load plus fault
+    injection against the sharded cluster (see ``docs/runtime.md``).
 """
 
 from repro.runtime.codec import (
@@ -38,6 +53,16 @@ from repro.runtime.transport import (
 from repro.runtime.node import LiveNode, NodeSpec, SimClockPump
 from repro.runtime.bootstrap import BootstrapServer
 from repro.runtime.cluster import LiveCluster, LiveClusterConfig
+from repro.runtime.roster import Roster, RosterEntry, ring_position
+from repro.runtime.agent import RosterAgent
+from repro.runtime.shard import ShardConfig, ShardHost
+from repro.runtime.supervisor import (
+    ClusterSupervisor,
+    TaskLedger,
+    merge_prometheus,
+    partition_specs,
+)
+from repro.runtime.soak import SoakConfig, run_soak
 
 __all__ = [
     "WIRE_VERSION",
@@ -55,4 +80,16 @@ __all__ = [
     "BootstrapServer",
     "LiveCluster",
     "LiveClusterConfig",
+    "Roster",
+    "RosterEntry",
+    "ring_position",
+    "RosterAgent",
+    "ShardConfig",
+    "ShardHost",
+    "ClusterSupervisor",
+    "TaskLedger",
+    "merge_prometheus",
+    "partition_specs",
+    "SoakConfig",
+    "run_soak",
 ]

@@ -9,6 +9,14 @@ wire, and prints per-node traffic summaries.
 Example::
 
     repro-live --peers 4 --origin P4 --deadline 20
+
+With ``--shards N`` the same domain runs on the sharded multi-process
+runtime instead: a :class:`~repro.runtime.supervisor.ClusterSupervisor`
+spawns one ``ShardHost`` process per shard, the decentralized roster
+assembles the domain, and the tasks are injected through the
+supervisor's control pipe::
+
+    repro-live --peers 64 --shards 4 --tasks 8
 """
 
 from __future__ import annotations
@@ -36,6 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--peers", type=int, default=4,
         help="number of worker peers (plus one RM candidate; default 4)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the domain on N supervised shard processes instead of "
+        "a single in-process loop (default 0 = in-process)",
     )
     parser.add_argument(
         "--origin", default="P4",
@@ -217,6 +230,78 @@ async def run_live(
     return report
 
 
+async def run_sharded(args: argparse.Namespace) -> Dict[str, Any]:
+    """The ``--shards`` path: the same fig-1 style domain, but hosted
+    by supervised shard processes with the decentralized roster."""
+    from repro.runtime.soak import SoakConfig, soak_shard_configs
+    from repro.runtime.supervisor import ClusterSupervisor
+
+    cfg = SoakConfig(
+        peers=args.peers, shards=args.shards,
+        task_rate=0.0, kill=False, drain=False,
+        task_deadline=args.deadline,
+        object_duration_s=args.duration,
+        metrics_port=args.metrics_port or 0,
+    )
+    sup = ClusterSupervisor(
+        soak_shard_configs(cfg),
+        serve_metrics=args.metrics_port is not None,
+        metrics_port=args.metrics_port or 0,
+        start_timeout=cfg.join_timeout,
+    )
+    report: Dict[str, Any] = {"shards": args.shards}
+    loop = asyncio.get_running_loop()
+    try:
+        await sup.start()
+        await sup.wait_running(timeout=cfg.join_timeout)
+        await sup.wait_rm_ready(timeout=cfg.join_timeout)
+        report["rm_shard"] = sup.rm_shard_id()
+        if args.metrics_port is not None and sup.httpd is not None:
+            print(f"metrics endpoint: {sup.httpd.url}/metrics",
+                  file=sys.stderr)
+        sup.submit(args.tasks)
+        # The ledger only knows about a task once its origin shard acks
+        # the submission, so wait for the acks before "settled".
+        deadline = loop.time() + args.timeout * max(1, args.tasks)
+        while loop.time() < deadline:
+            c = sup.ledger.counts()
+            if c["submit_acks"] + c["submit_failures"] >= args.tasks:
+                break
+            await asyncio.sleep(0.1)
+        await sup.wait_tasks_settled(
+            timeout=max(1.0, deadline - loop.time())
+        )
+        if args.linger > 0:
+            await asyncio.sleep(args.linger)
+        report["tasks"] = sup.ledger.counts()
+        report["status"] = sup.status()
+    finally:
+        await sup.stop()
+    return report
+
+
+def _print_sharded_text(report: Dict[str, Any]) -> None:
+    counts = report["tasks"]
+    print(
+        f"sharded domain up: {report['shards']} shards, "
+        f"RM on {report['rm_shard']}"
+    )
+    print(
+        f"tasks: submitted={counts['submit_acks']} "
+        f"terminal={counts['terminal']} open={counts['open']} "
+        f"failed_submits={counts['submit_failures']}"
+    )
+    base = {
+        "seen", "terminal", "open", "reassigned",
+        "submit_acks", "submit_failures",
+    }
+    by_event = ", ".join(
+        f"{k}={n}" for k, n in sorted(counts.items()) if k not in base
+    )
+    if by_event:
+        print(f"outcomes: {by_event}")
+
+
 def _print_text(report: Dict[str, Any]) -> None:
     print(f"domain up: RM={report['rm']} peers={', '.join(report['peers'])}")
     for i, entry in enumerate(report["tasks"], 1):
@@ -251,6 +336,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--profile-budget requires --profile")
     if args.profile_folded and not args.profile:
         parser.error("--profile-folded requires --profile")
+    if args.shards:
+        if args.shards < 1:
+            parser.error("--shards must be at least 1")
+        if args.trace or args.profile or args.sample is not None:
+            parser.error(
+                "--trace/--sample/--profile are in-process features; "
+                "with --shards use --record-dir on repro-live-soak or "
+                "each shard's own /metrics"
+            )
+        try:
+            report = asyncio.run(run_sharded(args))
+        except (asyncio.TimeoutError, TimeoutError):
+            print("error: sharded live run timed out", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(report, indent=2, default=str))
+        else:
+            _print_sharded_text(report)
+        counts = report["tasks"]
+        failed = (
+            counts["open"] > 0
+            or counts["submit_failures"] > 0
+            or counts["submit_acks"] < args.tasks
+        )
+        return 1 if failed else 0
     if args.metrics_port is not None and not args.trace:
         parser.error("--metrics-port requires --trace (it serves the "
                      "run's metrics registry)")

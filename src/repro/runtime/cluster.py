@@ -16,8 +16,9 @@ wins the §4.1 qualification election — 1 RM + 4 peers.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.manager import RMConfig
 from repro.media.fig1 import build_fig1_graph
@@ -109,7 +110,10 @@ class LiveCluster:
         self.nodes: Dict[str, LiveNode] = {}
         #: (wall-ish sim time, task_id, event) in arrival order.
         self.task_events: List[Tuple[float, str, str]] = []
-        self._fired: Set[Tuple[str, str]] = set()
+        #: Fired (task_id, event) keys, LRU-bounded so a long soak's
+        #: event history cannot grow without limit.
+        self._fired: OrderedDict[Tuple[str, str], None] = OrderedDict()
+        self._fired_capacity = 4096
         self._watchers: Dict[Tuple[str, str], asyncio.Event] = {}
         #: The Figure-1 goal format, handy for demos/tests.
         self.default_goal = build_fig1_graph().v_sol
@@ -155,7 +159,7 @@ class LiveCluster:
             return_exceptions=True,
         )
         if self.bootstrap is not None:
-            self.bootstrap.close()
+            await self.bootstrap.transport.aclose()
 
     async def __aenter__(self) -> "LiveCluster":
         return await self.start()
@@ -192,6 +196,7 @@ class LiveCluster:
         node = self.nodes.pop(node_id)
         await node.leave()
         await node.stop()
+        self._gc_watchers()
 
     # -- application API ---------------------------------------------------
     async def submit(
@@ -215,10 +220,20 @@ class LiveCluster:
         now = task.finished_at if task.finished_at is not None else 0.0
         self.task_events.append((now, task.task_id, event))
         key = (task.task_id, event)
-        self._fired.add(key)
-        watcher = self._watchers.get(key)
+        self._fired[key] = None
+        while len(self._fired) > self._fired_capacity:
+            self._fired.popitem(last=False)
+        # Fire-and-forget the watcher: waiters hold their own reference,
+        # so the entry can go immediately (it used to accumulate one
+        # Event per (task, event) forever).
+        watcher = self._watchers.pop(key, None)
         if watcher is not None:
             watcher.set()
+
+    def _gc_watchers(self) -> None:
+        """Drop watcher entries that already fired (node unregister)."""
+        for key in [k for k, ev in self._watchers.items() if ev.is_set()]:
+            self._watchers.pop(key, None)
 
     async def wait_task_event(
         self, task_id: str, event: str = "completed", timeout: float = 10.0
@@ -228,7 +243,12 @@ class LiveCluster:
         if key in self._fired:
             return
         watcher = self._watchers.setdefault(key, asyncio.Event())
-        await asyncio.wait_for(watcher.wait(), timeout)
+        try:
+            await asyncio.wait_for(watcher.wait(), timeout)
+        finally:
+            # A timed-out wait must not strand its Event in the map.
+            if self._watchers.get(key) is watcher and not watcher.is_set():
+                self._watchers.pop(key, None)
 
     def task(self, task_id: str) -> ApplicationTask:
         rm = self.rm_node.node

@@ -176,6 +176,7 @@ class LiveNode:
         allocator: Any = None,
         on_task_event: Optional[TaskEventFn] = None,
         join_timeout: float = 10.0,
+        join_extra: Optional[Dict[str, Any]] = None,
         **transport_kwargs: Any,
     ) -> None:
         self.spec = spec
@@ -185,6 +186,9 @@ class LiveNode:
         self.allocator = allocator
         self.on_task_event = on_task_event
         self.join_timeout = join_timeout
+        #: Extra keys merged into the JOIN_REQUEST payload (e.g. the
+        #: hosting shard id in the sharded runtime).
+        self.join_extra = dict(join_extra or {})
         self.env = Environment()
         self.pump = SimClockPump(self.env)
         self.directory = directory
@@ -213,20 +217,52 @@ class LiveNode:
         self._pump_task = asyncio.get_running_loop().create_task(
             self.pump.run(), name=f"pump:{self.node_id}"
         )
-        self.transport.send(Message(
-            kind=protocol.JOIN_REQUEST,
-            src=self.node_id,
-            dst=self.bootstrap_id,
-            payload=self._join_request_payload(),
-            size=protocol.size_of(protocol.JOIN_REQUEST),
-        ))
-        await asyncio.wait_for(self._joined.wait(), self.join_timeout)
+        self._pump_task.add_done_callback(self._pump_done)
+        # Joining is an application-level retry loop, not a single
+        # reliable send: under a mass-join burst the registrar's process
+        # can stall longer than the transport's whole retry budget
+        # (hundreds of multi-KB JOIN_REQUESTs against a default-sized
+        # kernel rcvbuf), and a join lost *there* would strand the node
+        # forever.  Re-announcing is idempotent at the agent.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.join_timeout
+        retry = min(2.0, max(0.5, self.join_timeout / 10.0))
+        while not self._joined.is_set():
+            self.transport.send(Message(
+                kind=protocol.JOIN_REQUEST,
+                src=self.node_id,
+                dst=self.bootstrap_id,
+                payload=self._join_request_payload(),
+                size=protocol.size_of(protocol.JOIN_REQUEST),
+            ))
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(
+                    f"{self.node_id}: no JOIN_ACK within "
+                    f"{self.join_timeout}s"
+                )
+            try:
+                await asyncio.wait_for(
+                    self._joined.wait(), min(retry, remaining)
+                )
+            except asyncio.TimeoutError:
+                continue
         assert self._join_payload is not None
         self._assume_role(self._join_payload)
         return self
 
+    def _pump_done(self, task: "asyncio.Task[None]") -> None:
+        """A pump that dies takes the whole protocol endpoint with it —
+        that must never pass silently (it once hid an admission bug)."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.log.error("clock pump died: %r", exc)
+
     def _join_request_payload(self) -> Dict[str, Any]:
         return {
+            **self.join_extra,
             "peer_id": self.node_id,
             "host": self.transport.host,
             "port": self.transport.port,
@@ -259,7 +295,7 @@ class LiveNode:
                 await self._pump_task
             except (asyncio.CancelledError, Exception):
                 pass
-        self.transport.close()
+        await self.transport.aclose()
 
     # -- wiring ------------------------------------------------------------
     def _on_wire_message(self, msg: Message) -> None:
@@ -316,6 +352,9 @@ class LiveNode:
 
     def _rm_admit(self, rm: ResourceManager, rec: Dict[str, Any]) -> None:
         """Fold one announced member into the RM's information base."""
+        if "power" not in rec:
+            return  # address-only roster slice (sharded ack); the full
+            # capability record arrives via a roster-agent forward
         if rm.info.has_peer(rec["peer_id"]):
             return
         rm.admit_peer(

@@ -204,6 +204,7 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         est_bandwidth: float = 1.25e7,
         dedup_capacity: int = 8192,
         drop_fn: Optional[DropFn] = None,
+        rcvbuf: int = 1 << 20,
     ) -> None:
         if ack_timeout <= 0 or backoff < 1.0 or max_retries < 0:
             raise ValueError("bad reliability parameters")
@@ -218,6 +219,7 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         self.est_latency = est_latency
         self.est_bandwidth = est_bandwidth
         self.drop_fn = drop_fn
+        self.rcvbuf = rcvbuf
         self.stats = NetworkStats()
         self._node: Optional["NetNode"] = None
         self._down: Set[str] = set()
@@ -256,6 +258,19 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
             lambda: self, local_addr=(self.host, self.port)
         )
         self._sock = sock
+        raw = sock.get_extra_info("socket")
+        if raw is not None and self.rcvbuf:
+            import socket as _socket
+            try:
+                # Best effort: the kernel clamps to rmem_max.  A mass
+                # join aims hundreds of datagrams at one registrar
+                # socket faster than its event loop drains them; the
+                # default buffer overflows long before the retry budget.
+                raw.setsockopt(
+                    _socket.SOL_SOCKET, _socket.SO_RCVBUF, self.rcvbuf
+                )
+            except OSError:
+                pass
         self.host, self.port = sock.get_extra_info("sockname")[:2]
         self.directory.add(self.node_id, self.host, self.port)
         return self
@@ -269,11 +284,37 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         if self._sock is not None:
             self._sock.close()
 
-    async def flush(self, timeout: float = 1.0) -> None:
-        """Wait for in-flight reliable sends (graceful departure)."""
+    async def aclose(self) -> None:
+        """Close and *reap*: await every cancelled retry task.
+
+        ``close()`` alone only requests cancellation; the tasks need a
+        loop cycle to unwind, and a loop that shuts down first logs
+        "Task was destroyed but it is pending!" and leaks the ack
+        waiters.  After this returns, ``_send_tasks`` is empty.
+        """
+        self.close()
         pending = [t for t in self._send_tasks if not t.done()]
         if pending:
-            await asyncio.wait(pending, timeout=timeout)
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._send_tasks.clear()
+        self._pending_acks.clear()
+
+    async def flush(self, timeout: float = 1.0) -> None:
+        """Wait for in-flight reliable sends (graceful departure).
+
+        Sends still pending when *timeout* expires are cancelled — a
+        straggler mid-backoff must not outlive the departure that
+        called this (their messages count as dropped, datagram-style).
+        """
+        pending = [t for t in self._send_tasks if not t.done()]
+        if not pending:
+            return
+        await asyncio.wait(pending, timeout=timeout)
+        stragglers = [t for t in pending if not t.done()]
+        for task in stragglers:
+            task.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
 
     # -- Transport surface -------------------------------------------------
     def register(self, node: "NetNode") -> None:
@@ -423,6 +464,11 @@ class UdpTransport(Transport, asyncio.DatagramProtocol):
         self._seen[key] = None
         if len(self._seen) > self._dedup_capacity:
             self._seen.popitem(last=False)
+        # Learn the sender's address from the wire: a respawned process
+        # keeps its node ids but binds fresh ports, and replies routed
+        # through a stale directory entry would go to the dead socket.
+        if self.directory.address(msg.src) != addr:
+            self.directory.add(msg.src, addr[0], addr[1])
         self._note_delivered(msg)
         self.on_message(msg)
 

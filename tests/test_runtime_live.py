@@ -153,3 +153,61 @@ def test_per_node_summaries_share_the_stats_shape(live_run):
         assert {"sent", "delivered", "dropped", "by_kind",
                 "retransmits", "duplicates", "malformed",
                 "acks_sent"} <= set(summary), node_id
+
+
+# -- watcher bookkeeping (no sockets) ---------------------------------------
+
+class _StubTask:
+    def __init__(self, task_id):
+        self.task_id = task_id
+        self.finished_at = 1.0
+
+
+def test_task_event_watchers_do_not_accumulate():
+    """Regression: the cluster used to keep one Event per (task, event)
+    forever — a week-long soak's watcher map grew without bound.  Fired
+    watchers leave the map immediately; waiters hold their own ref."""
+    async def main():
+        cluster = LiveCluster(LiveClusterConfig(n_peers=1))
+        waiter = asyncio.ensure_future(
+            cluster.wait_task_event("t1", "completed", timeout=5.0)
+        )
+        await asyncio.sleep(0)  # let the waiter register
+        assert ("t1", "completed") in cluster._watchers
+        cluster._on_task_event(_StubTask("t1"), "completed")
+        await waiter
+        assert cluster._watchers == {}
+        # Events nobody waits for never create watcher entries at all.
+        for i in range(50):
+            cluster._on_task_event(_StubTask(f"bulk{i}"), "completed")
+        assert cluster._watchers == {}
+    run(main())
+
+
+def test_task_event_wait_timeout_removes_watcher():
+    """A timed-out wait must not strand its Event in the map."""
+    async def main():
+        cluster = LiveCluster(LiveClusterConfig(n_peers=1))
+        with pytest.raises(asyncio.TimeoutError):
+            await cluster.wait_task_event("ghost", "completed", timeout=0.01)
+        assert cluster._watchers == {}
+    run(main())
+
+
+def test_fired_event_history_is_bounded():
+    """The fired-key LRU stays at capacity under a long event stream;
+    recent events remain answerable without a watcher."""
+    async def main():
+        cluster = LiveCluster(LiveClusterConfig(n_peers=1))
+        cap = cluster._fired_capacity
+        for i in range(cap + 500):
+            cluster._on_task_event(_StubTask(f"t{i}"), "completed")
+        assert len(cluster._fired) == cap
+        # The newest event answers instantly from the fired set.
+        await cluster.wait_task_event(
+            f"t{cap + 499}", "completed", timeout=0.01
+        )
+        # The oldest was evicted: waiting on it now times out.
+        with pytest.raises(asyncio.TimeoutError):
+            await cluster.wait_task_event("t0", "completed", timeout=0.01)
+    run(main())

@@ -1,0 +1,152 @@
+"""The sharded multi-process runtime, end to end.
+
+The acceptance scenario for the cluster supervisor: shard processes
+spawned over a control pipe, the decentralized roster assembling one
+domain across them, a SIGKILLed shard respawned with its nodes
+re-joining under their old ids, task conservation through the fault,
+aggregated metrics, and a graceful drain.  Everything runs at miniature
+scale (a handful of peers, a few shards) — the CI ``live-soak-smoke``
+job runs the same scenario at 200 peers via ``repro-live-soak``.
+
+Pure-function layers (spec partitioning, Prometheus merging, the task
+ledger) are unit-tested without processes first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.runtime.node import NodeSpec
+from repro.runtime.supervisor import (
+    TaskLedger,
+    merge_prometheus,
+    partition_specs,
+)
+
+pytestmark = pytest.mark.integration
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- pure layers -------------------------------------------------------------
+
+def specs(n):
+    return [NodeSpec(node_id=f"P{i}") for i in range(n)]
+
+
+def test_partition_specs_round_robin():
+    buckets = partition_specs(specs(7), 3)
+    assert [len(b) for b in buckets] == [3, 2, 2]
+    # Shard 0 gets the first spec — the RM candidate stays on s0.
+    assert buckets[0][0].node_id == "P0"
+    got = sorted(s.node_id for b in buckets for s in b)
+    assert got == sorted(s.node_id for s in specs(7))
+
+
+def test_partition_specs_drops_empty_buckets():
+    # More shards than specs: empty shards would never join; they are
+    # elided rather than spawned.
+    buckets = partition_specs(specs(2), 4)
+    assert [len(b) for b in buckets] == [1, 1]
+
+
+def test_merge_prometheus_sums_series():
+    a = (
+        "# HELP repro_x things\n"
+        "# TYPE repro_x gauge\n"
+        "repro_x 2\n"
+        'repro_y{shard="s0"} 1\n'
+    )
+    b = (
+        "# HELP repro_x things\n"
+        "# TYPE repro_x gauge\n"
+        "repro_x 3\n"
+        'repro_y{shard="s1"} 5\n'
+    )
+    text = merge_prometheus([a, b])
+    lines = text.splitlines()
+    # One HELP/TYPE pair survives; same-name same-label samples sum;
+    # distinct label sets stay distinct.
+    assert lines.count("# HELP repro_x things") == 1
+    assert "repro_x 5.0" in lines
+    assert 'repro_y{shard="s0"} 1.0' in lines
+    assert 'repro_y{shard="s1"} 5.0' in lines
+
+
+def test_task_ledger_conservation_accounting():
+    led = TaskLedger()
+    led.on_rm_event("t1", "admitted", None)
+    led.on_rm_event("t2", "admitted", None)
+    assert sorted(led.open_tasks()) == ["t1", "t2"]
+    led.on_rm_event("t1", "completed", "ok")
+    led.on_rm_event("t2", "reassigned", None)
+    assert led.open_tasks() == ["t2"]
+    led.on_rm_event("t2", "failed", "failed")
+    assert led.open_tasks() == []
+    counts = led.counts()
+    assert counts["seen"] == 2 and counts["terminal"] == 2
+    assert counts["open"] == 0 and counts["reassigned"] == 1
+    assert counts["completed"] == 1 and counts["failed"] == 1
+    # Terminal is latched: a duplicate event cannot reopen a task.
+    led.on_rm_event("t1", "completed", "ok")
+    assert led.counts()["terminal"] == 2
+
+
+# -- the full multi-process scenario -----------------------------------------
+
+@pytest.fixture(scope="module")
+def soak_result():
+    """One shared miniature soak: spawn, kill+respawn, settle, drain."""
+    from repro.runtime.soak import SoakConfig, run_soak
+
+    cfg = SoakConfig(
+        peers=8, shards=3, duration=6.0, task_rate=3.0,
+        profiler_update_period=0.5, join_timeout=30.0,
+        settle_grace=45.0, object_duration_s=1.0,
+    )
+    return run(run_soak(cfg))
+
+
+def test_soak_passes_every_acceptance_check(soak_result):
+    assert soak_result["ok"], soak_result
+
+
+def test_killed_shard_respawns_and_rejoins(soak_result):
+    victim = soak_result["killed"]
+    assert victim is not None and soak_result["respawned"]
+    assert soak_result["restarts"][victim] >= 1
+    # Every *other* shard came through without a restart.
+    assert all(
+        n == 0 for sid, n in soak_result["restarts"].items()
+        if sid != victim
+    )
+
+
+def test_roster_reconverges_after_the_fault(soak_result):
+    # Every shard's replica counts the full population again: the
+    # respawned nodes re-joined under their old ids (9 nodes, 3 agents).
+    assert soak_result["converged"], soak_result
+
+
+def test_no_task_lost_through_kill_and_drain(soak_result):
+    counts = soak_result["tasks"]
+    assert soak_result["no_task_lost"]
+    assert counts["open"] == 0
+    assert counts["terminal"] == counts["seen"]
+    assert counts["submit_failures"] == 0
+    assert counts["seen"] > 0  # the stream actually flowed
+
+
+def test_supervisor_metrics_aggregate_all_shards(soak_result):
+    assert soak_result["metrics_ok"]
+
+
+def test_graceful_drain_left_cleanly(soak_result):
+    assert soak_result["drain"] is not None
+    assert soak_result["drain"]["ok"], soak_result["drain"]
+    # The drained shard was not the one we killed, nor the RM's.
+    assert soak_result["drain"]["shard"] != soak_result["killed"]

@@ -247,6 +247,72 @@ def test_expected_delay_monotone_in_size():
     assert t.expected_delay("A", "B", 0.0) == pytest.approx(0.001)
 
 
+def test_aclose_reaps_pending_send_tasks():
+    """Regression: retry tasks mid-backoff used to outlive ``close()``
+    (cancellation was requested but never awaited), leaking ack waiters
+    into the dying loop.  After ``aclose()`` the task set is empty and
+    every task has actually unwound."""
+    async def main():
+        _, a, b, inbox = make_pair(
+            drop_fn=lambda msg, attempt: True,  # black hole: no acks ever
+            ack_timeout=5.0, max_retries=8,
+        )
+        await start_all(a, b)
+        try:
+            for i in range(10):
+                a.send(Message(kind="stream", src="A", dst="B",
+                               payload={"seq": i}, size=64.0))
+            await asyncio.sleep(0.05)  # let the send tasks park on acks
+            assert len(a._send_tasks) == 10  # all mid-retry, none done
+        finally:
+            await a.aclose()
+            b.close()
+        assert a._send_tasks == set()
+        assert a._pending_acks == {}
+        # Nothing of the transport's survives into the loop shutdown.
+        leftover = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        assert leftover == []
+    run(main())
+
+
+def test_flush_cancels_stragglers():
+    """A send still unacked when ``flush`` times out is cancelled — a
+    departing node must not leave retry loops running behind it."""
+    async def main():
+        _, a, b, inbox = make_pair(
+            drop_fn=lambda msg, attempt: True,
+            ack_timeout=30.0, max_retries=3,
+        )
+        await start_all(a, b)
+        try:
+            a.send(Message(kind="leave", src="A", dst="B", size=32.0))
+            await asyncio.sleep(0)
+            await a.flush(timeout=0.05)
+            assert all(t.done() for t in a._send_tasks)
+        finally:
+            close_all(a, b)
+    run(main())
+
+
+def test_receiver_learns_sender_address():
+    """A respawned process re-binds fresh ports under its old node id;
+    the receiver must adopt the address datagrams actually come from,
+    or every reply chases the dead socket."""
+    async def main():
+        directory, a, b, inbox = make_pair()
+        await start_all(a, b)
+        try:
+            directory.add("A", "127.0.0.1", 1)  # stale: A's old life
+            a.send(Message(kind="join", src="A", dst="B", size=64.0))
+            assert await wait_for(lambda: len(inbox) == 1)
+            assert directory.address("A") == (a.host, a.port)
+        finally:
+            close_all(a, b)
+    run(main())
+
+
 def test_message_id_reset_determinism():
     """Message.reset_ids rewinds the auto-id counter so repeated runs
     assign identical ids (trace comparability across in-process runs)."""
