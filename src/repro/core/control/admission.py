@@ -46,6 +46,15 @@ class AdmissionController:
         obj = rm.object_catalog.get(task.name)
         if not sources or obj is None:
             return self.redirect_or_reject(task, reason="no_object")
+        if rm.reputation is not None:
+            # Quarantined replica holders leave the eligible list while
+            # any clean holder remains (last-resort sources still work).
+            clean = [
+                pid for pid in sources
+                if not rm.reputation.is_quarantined(pid, now)
+            ]
+            if clean:
+                sources = clean
         allocator = self._allocator_for(task, now)
         # Prefer the least-loaded replica holder as the stream source.
         source_peer = min(

@@ -108,6 +108,9 @@ class TaskRegistry:
         rm = self.rm
         rm.domain_id = snapshot["domain_id"]
         rm.info = DomainInfoBase(rm.domain_id, rm.node_id)
+        # A defense-enabled backup keeps judging with its own engine
+        # (trust evidence is per-observer and is not replicated).
+        rm.info.reputation = rm.reputation
         for pid, rec in snapshot["peers"].items():
             rm.info.add_peer(rec)
         rm.info.resource_graph = snapshot["resource_graph"]

@@ -95,6 +95,11 @@ class DomainInfoBase:
         # release_projection does not scan every peer's list.
         self._proj_cache: Dict[str, tuple] = {}
         self._task_peers: Dict[str, Set[str]] = {}
+        #: Optional :class:`~repro.core.control.reputation
+        #: .ReputationEngine` attached when the RM runs with
+        #: ``enable_defense``; ``None`` keeps effective_load's behavior
+        #: (and the trajectory goldens) byte-identical.
+        self.reputation: Optional[Any] = None
         #: Summaries received from other domains: domain_id -> summary.
         self.remote_summaries: Dict[str, Any] = {}
         #: When each remote summary's content was last received/refreshed
@@ -118,6 +123,8 @@ class DomainInfoBase:
         del self.peers[peer_id]
         self._projections.pop(peer_id, None)
         self._proj_cache.pop(peer_id, None)
+        if self.reputation is not None:
+            self.reputation.forget(peer_id)
         return self.resource_graph.remove_peer(peer_id)
 
     def has_peer(self, peer_id: str) -> bool:
@@ -164,7 +171,12 @@ class DomainInfoBase:
                 continue
             kept = [p for p in plist if p.task_id != task_id]
             if len(kept) != len(plist):
-                self._projections[peer_id] = kept
+                if kept:
+                    self._projections[peer_id] = kept
+                else:
+                    # Drop drained keys outright: a long churn run must
+                    # not accumulate empty-list residue per dead peer.
+                    del self._projections[peer_id]
                 self._proj_cache.pop(peer_id, None)
 
     def effective_load(self, peer_id: str, now: float) -> float:
@@ -176,6 +188,8 @@ class DomainInfoBase:
             raise UnknownPeer(peer_id)
         report = rec.last_report
         load = report.load if report is not None else 0.0
+        if self.reputation is not None:
+            load += self.reputation.load_penalty(peer_id, rec, now)
         plist = self._projections.get(peer_id)
         if not plist:
             return load
@@ -184,15 +198,28 @@ class DomainInfoBase:
             return load + cached[0]
         live = [p for p in plist if p.expires_at > now]
         if len(live) != len(plist):
-            self._projections[peer_id] = live
             if not live:
+                del self._projections[peer_id]
                 self._proj_cache.pop(peer_id, None)
                 return load
+            self._projections[peer_id] = live
         total = sum(p.delta for p in live)
         self._proj_cache[peer_id] = (
             total, min(p.expires_at for p in live)
         )
         return load + total
+
+    def projected_load(self, peer_id: str, now: float) -> float:
+        """This RM's own live allocation projections for *peer_id*.
+
+        Evidence for the reputation engine: work the RM assigned whose
+        effect a lying report cannot argue away.  Read-only (no sweep)
+        so it never perturbs the ``effective_load`` caches.
+        """
+        plist = self._projections.get(peer_id)
+        if not plist:
+            return 0.0
+        return sum(p.delta for p in plist if p.expires_at > now)
 
     def load_vector(self, now: float) -> LoadVector:
         """Effective loads of all domain peers (the allocator's view)."""
@@ -201,9 +228,14 @@ class DomainInfoBase:
         )
 
     def utilization_vector(self, now: float) -> Dict[str, float]:
-        """Effective utilization (load / power) per peer."""
+        """Effective utilization (load / power) per peer.
+
+        Claimed power is clamped away from zero: a join record claiming
+        no capacity must read as "infinitely overloaded", not crash the
+        gossip publisher with a ZeroDivisionError.
+        """
         return {
-            pid: self.effective_load(pid, now) / rec.power
+            pid: self.effective_load(pid, now) / max(rec.power, 1e-9)
             for pid, rec in self.peers.items()
         }
 
@@ -215,7 +247,7 @@ class DomainInfoBase:
             return 0.0
         total = 0.0
         for pid, rec in peers.items():
-            total += self.effective_load(pid, now) / rec.power
+            total += self.effective_load(pid, now) / max(rec.power, 1e-9)
         return total / len(peers)
 
     # -- objects & services ------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.core.control.events import emit_task_event
 from repro.core.control.placement import PlacementEngine, PlacementPolicy
 from repro.core.control.registry import TaskRegistry
 from repro.core.control.repair import RepairCoordinator
+from repro.core.control.reputation import ReputationEngine
 from repro.core.info_base import DomainInfoBase, PeerRecord
 from repro.core.peer import Peer, PeerConfig
 from repro.core.session import SessionState
@@ -90,6 +91,12 @@ class RMConfig:
     #: processing power, it accepts the processor in its domain" — an
     #: RM busier than this redirects joins even with roster room.
     join_accept_max_util: float = 0.95
+    #: Reputation-gated load reports (``--defense``): cross-check each
+    #: peer's claims against observed evidence, discount divergent
+    #: peers in placement and quarantine chronic liars.  Off by default
+    #: — the paper trusts self-reports, and the trajectory goldens
+    #: stay byte-identical.
+    enable_defense: bool = False
 
 
 class ResourceManager(Peer):
@@ -147,6 +154,13 @@ class ResourceManager(Peer):
         self.registry = TaskRegistry(self)
         self.admission = AdmissionController(self, self.placement)
         self.repair = RepairCoordinator(self, self.placement)
+        #: Reputation-gated load reports (RMConfig.enable_defense).
+        #: Attached to the info base so effective_load folds the trust
+        #: penalty into every placement-facing load read.
+        self.reputation: Optional[ReputationEngine] = None
+        if self.rm_config.enable_defense:
+            self.reputation = ReputationEngine()
+            self.info.reputation = self.reputation
 
         self.on(protocol.LOAD_UPDATE, self._handle_load_update)
         self.on(protocol.TASK_REQUEST, self._handle_task_request)
@@ -214,6 +228,8 @@ class ResourceManager(Peer):
     ) -> None:
         """Add a member to the domain roster (join accepted, §4.1)."""
         self.info.add_peer(record)
+        if self.reputation is not None and record.peer_id != self.node_id:
+            self.reputation.note_join(record)
         self.last_seen[record.peer_id] = self.env.now
         for name, obj in (objects or {}).items():
             record.objects.add(name)
@@ -237,6 +253,14 @@ class ResourceManager(Peer):
             return  # departed peer's last gasp
         self.info.update_from_report(report)
         self.last_seen[report.peer_id] = self.env.now
+        if self.reputation is not None:
+            now = self.env.now
+            self.reputation.observe_report(
+                report,
+                self.info.peers[report.peer_id],
+                self.info.projected_load(report.peer_id, now),
+                now,
+            )
 
     def _handle_task_request(self, msg: Message) -> None:
         if not self.active:
@@ -276,11 +300,17 @@ class ResourceManager(Peer):
         session.note_step_done(p["step_index"], p["peer_id"])
         graph = self.info.service_graphs.get(p["task_id"])
         if graph is not None:
-            graph.record_timing(
-                p["step_index"],
-                p.get("started", msg.sent_at),
-                p.get("finished", msg.sent_at),
-            )
+            started = p.get("started", msg.sent_at)
+            finished = p.get("finished", msg.sent_at)
+            graph.record_timing(p["step_index"], started, finished)
+            if self.reputation is not None:
+                rec = self.info.peers.get(p["peer_id"])
+                idx = p["step_index"]
+                if rec is not None and 0 <= idx < len(graph.steps):
+                    self.reputation.observe_step(
+                        p["peer_id"], rec, graph.steps[idx].work,
+                        finished - started, self.env.now,
+                    )
 
     def _handle_task_done(self, msg: Message) -> None:
         p = msg.payload

@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "next to the trace, or ./profile.folded)",
     )
     parser.add_argument(
+        "--defense", action="store_true",
+        help="reputation-gated load reports (rm.enable_defense): the "
+        "elected RM cross-checks peer claims against observed evidence "
+        "and quarantines chronic liars (see docs/scenarios.md)",
+    )
+    parser.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="serve Prometheus text /metrics and /healthz on "
         "127.0.0.1:PORT while the run is live (0 = ephemeral port)",
@@ -139,6 +145,7 @@ async def run_live(
     config = LiveClusterConfig(
         n_peers=args.peers, object_duration_s=args.duration,
         placement_policy=args.policy,
+        enable_defense=getattr(args, "defense", False),
     )
     cluster = LiveCluster(config)
     known = sorted(s.node_id for s in cluster.specs)

@@ -52,6 +52,8 @@ class LiveClusterConfig:
     #: Placement policy name the elected RM runs (registry name;
     #: overrides ``rm_config.placement_policy`` when non-default).
     placement_policy: str = "paper"
+    #: Reputation-gated load reports on the elected RM (``--defense``).
+    enable_defense: bool = False
     rm_config: Optional[RMConfig] = None
     #: Extra kwargs forwarded to every UdpTransport (test shims).
     transport_kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -129,6 +131,8 @@ class LiveCluster:
         )
         if cfg.placement_policy != "paper":
             rm_config.placement_policy = cfg.placement_policy
+        if cfg.enable_defense:
+            rm_config.enable_defense = True
         self.bootstrap = BootstrapServer(
             self.directory,
             expected_peers=len(self.specs),

@@ -87,6 +87,17 @@ class MisbehavingPeer:
         if self._forward is not None:
             self._forward(report)
 
+    def detach(self) -> None:
+        """Restore the peer's original report path (scenario teardown).
+
+        Idempotent, and a no-op if something else re-wrapped the
+        profiler after us — a rebuilt/restored peer must never end up
+        with stacked lying wrappers or lose a later wrapper.
+        """
+        # == not `is`: attribute access mints a fresh bound method.
+        if self.peer.profiler.report_fn == self._report:
+            self.peer.profiler.report_fn = self._forward
+
     def __repr__(self) -> str:
         return (
             f"<MisbehavingPeer {self.peer.node_id} mode={self.spec.mode} "

@@ -107,22 +107,28 @@ class StressedScenario:
     # -- execution ---------------------------------------------------------
     def run(self) -> RunSummary:
         """Run the scripted duration + drain; returns the RunSummary."""
-        if self.tel is not None:
-            with telemetry.session(self.tel):
+        try:
+            if self.tel is not None:
+                with telemetry.session(self.tel):
+                    self.summary = self.scenario.run(
+                        self.spec.duration, drain=self.spec.drain
+                    )
+                    if self.profile is not None:
+                        self.profile.stop()
+                        self.profile.publish(self.tel.metrics)
+                    if self.recorder is not None:
+                        self.recorder.close()
+            else:
                 self.summary = self.scenario.run(
                     self.spec.duration, drain=self.spec.drain
                 )
                 if self.profile is not None:
                     self.profile.stop()
-                    self.profile.publish(self.tel.metrics)
-                if self.recorder is not None:
-                    self.recorder.close()
-        else:
-            self.summary = self.scenario.run(
-                self.spec.duration, drain=self.spec.drain
-            )
-            if self.profile is not None:
-                self.profile.stop()
+        finally:
+            # Teardown: un-wrap the lying report paths so peers reused
+            # or rebuilt after the run report honestly again.
+            for liar in self.liars:
+                liar.detach()
         return self.summary
 
     # -- reporting ---------------------------------------------------------
@@ -180,9 +186,51 @@ class StressedScenario:
                 list(self.recorder.dumps) if self.recorder else []
             ),
         }
+        reputation = self.reputation_document()
+        if reputation:
+            doc["reputation"] = reputation
         if self.profile is not None:
             doc["profile"] = self.profile.record(top_n=10)
         return doc
+
+    def reputation_document(self) -> Dict[str, Any]:
+        """Merged trust state across every defense-enabled RM.
+
+        Empty when no RM ran with ``enable_defense`` — the metrics doc
+        of an undefended run is unchanged.
+        """
+        quarantined: set = set()
+        ever: set = set()
+        trust: Dict[str, float] = {}
+        signals: Dict[str, int] = {}
+        total = 0
+        seen = False
+        now = self.env.now
+        for rm in self.overlay.rms():
+            engine = getattr(rm, "reputation", None)
+            if engine is None:
+                continue
+            seen = True
+            snap = engine.snapshot(now)
+            quarantined.update(snap["quarantined"])
+            ever.update(snap["ever_quarantined"])
+            total += snap["quarantines_total"]
+            for pid, st in snap["peers"].items():
+                # A peer judged by several RMs keeps its worst score.
+                score = st["score"]
+                if pid not in trust or score < trust[pid]:
+                    trust[pid] = score
+            for sig, n in snap["signals"].items():
+                signals[sig] = signals.get(sig, 0) + n
+        if not seen:
+            return {}
+        return {
+            "quarantined": sorted(quarantined),
+            "ever_quarantined": sorted(ever),
+            "quarantines_total": total,
+            "trust": {pid: trust[pid] for pid in sorted(trust)},
+            "signals": signals,
+        }
 
 
 def build_stressed_scenario(

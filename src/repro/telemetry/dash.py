@@ -110,6 +110,35 @@ def render_report(
                 else f"  (+{extra} more label sets)"
             )
 
+    rep_fams = {
+        name: recs for name, recs in fams.items()
+        if name.startswith("repro_reputation_")
+    }
+    if rep_fams:
+        heading("reputation defense")
+
+        def _last(name: str) -> Optional[float]:
+            recs = rep_fams.get(name)
+            if not recs:
+                return None
+            values = recs[0].get("v") or []
+            return float(values[-1]) if values else None
+
+        quarantined = _last("repro_reputation_quarantined")
+        total = _last("repro_reputation_quarantines_total")
+        min_trust = _last("repro_reputation_min_trust")
+        mean_trust = _last("repro_reputation_mean_trust")
+        parts = []
+        if quarantined is not None:
+            parts.append(f"quarantined={quarantined:g}")
+        if total is not None:
+            parts.append(f"quarantines_total={total:g}")
+        if min_trust is not None:
+            parts.append(f"min_trust={min_trust:.3f}")
+        if mean_trust is not None:
+            parts.append(f"mean_trust={mean_trust:.3f}")
+        lines.append(" ".join(parts) if parts else "(no samples)")
+
     rel = reliability_summary(data)
     if any(rel.values()):
         heading("reliability")

@@ -521,7 +521,36 @@ def overlay_probes(
         s.observe("repro_net_retry_rate", rates["retransmits"])
         s.observe("repro_net_dup_rate", rates["duplicates"])
 
-    return [load_probe, miss_probe, rm_probe, net_probe]
+    def reputation_probe(s: HealthSampler) -> None:
+        # Only emits when some RM runs with the reputation defense
+        # (RMConfig.enable_defense) — undefended runs keep their exact
+        # series set, so existing golden metrics documents hold.
+        scores: List[float] = []
+        quarantined = 0
+        total = 0
+        engines = 0
+        for rm in overlay.rms():
+            engine = getattr(rm, "reputation", None)
+            if engine is None:
+                continue
+            engines += 1
+            snap = engine.snapshot(rm.env.now)
+            scores.extend(p["score"] for p in snap["peers"].values())
+            quarantined += len(snap["quarantined"])
+            total += snap["quarantines_total"]
+        if not engines:
+            return
+        s.observe("repro_reputation_quarantined", quarantined)
+        s.observe("repro_reputation_quarantines_total", total)
+        s.observe(
+            "repro_reputation_min_trust", min(scores) if scores else 1.0
+        )
+        s.observe(
+            "repro_reputation_mean_trust",
+            sum(scores) / len(scores) if scores else 1.0,
+        )
+
+    return [load_probe, miss_probe, rm_probe, net_probe, reputation_probe]
 
 
 # -- probe builders: live runtime --------------------------------------------

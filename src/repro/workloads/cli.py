@@ -32,6 +32,8 @@ def _run_scenario(args) -> int:
     if args.policy is not None:
         spec.base.allocation_policy = args.policy
         spec.base.rm.placement_policy = args.policy
+    if args.defense:
+        spec.base.rm.enable_defense = True
 
     out_dir = (
         os.path.dirname(args.metrics_out) if args.metrics_out else "."
@@ -138,6 +140,13 @@ def main(argv: list[str] | None = None) -> int:
         "allocation_policy / rm.placement_policy)",
     )
     parser.add_argument(
+        "--defense", action="store_true",
+        help="reputation-gated load reports (rm.enable_defense): the RM "
+        "cross-checks each peer's claims against observed evidence, "
+        "discounts divergent peers in placement and quarantines chronic "
+        "liars (see docs/scenarios.md)",
+    )
+    parser.add_argument(
         "--record-trace", metavar="FILE",
         help="record generated requests to a CSV trace",
     )
@@ -202,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.policy is not None:
         cfg.allocation_policy = args.policy
         cfg.rm.placement_policy = args.policy
+    if args.defense:
+        cfg.rm.enable_defense = True
     scenario = build_scenario(cfg)
     recorder = None
     if args.record_trace:

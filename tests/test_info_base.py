@@ -88,6 +88,27 @@ class TestLoadView:
         assert utils["p1"] == pytest.approx(0.5)
         assert utils["p2"] == 0.0
 
+    def test_zero_power_claim_does_not_crash_utilization(self, info):
+        """A peer that joins claiming zero power must not divide by 0."""
+        info.add_peer(PeerRecord(peer_id="z", power=0.0, bandwidth=1e6))
+        info.update_from_report(report("z", 1.0, power=10.0))
+        utils = info.utilization_vector(now=0.0)
+        assert utils["z"] > 0.0  # clamped denominator, huge utilization
+        assert info.mean_utilization(now=0.0) > 0.0
+
+    def test_release_projection_leaves_no_residue(self, info):
+        """Churny task turnover must not grow _projections forever."""
+        for i in range(5):
+            info.project_allocation(f"t{i}", {"p1": 2.0}, expires_at=1e9)
+            info.release_projection(f"t{i}")
+        assert "p1" not in info._projections
+
+    def test_expiry_sweep_deletes_drained_entries(self, info):
+        info.project_allocation("t1", {"p1": 2.0}, expires_at=10.0)
+        assert "p1" in info._projections
+        info.effective_load("p1", now=11.0)  # sweep: all deltas expired
+        assert "p1" not in info._projections
+
 
 class TestObjectsAndServices:
     def test_peers_with_object(self, info):

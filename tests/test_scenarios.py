@@ -432,6 +432,52 @@ class TestAdversary:
         assert peer.sent[1].utilization == 0.9
         assert liar.n_reports == 2 and liar.n_lies == 1
 
+    def test_detach_restores_report_fn(self):
+        peer = _FakePeer()
+        original = peer.profiler.report_fn
+        liar = MisbehavingPeer(
+            peer, AdversarySpec(mode="constant", claimed_utilization=0.0),
+            true_power=10.0,
+        )
+        assert peer.profiler.report_fn is not original
+        liar.detach()
+        assert peer.profiler.report_fn is original
+        # Reports now flow through unmolested.
+        peer.profiler.report_fn(_report(u=0.9))
+        assert peer.sent[0].utilization == 0.9
+        assert liar.n_lies == 0
+
+    def test_detach_is_idempotent_and_wrap_safe(self):
+        peer = _FakePeer()
+        original = peer.profiler.report_fn
+        liar = MisbehavingPeer(
+            peer, AdversarySpec(mode="constant", claimed_utilization=0.0),
+            true_power=10.0,
+        )
+        liar.detach()
+        liar.detach()  # second call is a no-op
+        assert peer.profiler.report_fn is original
+        # If something else re-wrapped the hook, detach must not clobber.
+        sentinel = peer.sent.append
+        liar2 = MisbehavingPeer(
+            peer, AdversarySpec(mode="constant", claimed_utilization=0.0),
+            true_power=10.0,
+        )
+        peer.profiler.report_fn = sentinel
+        liar2.detach()
+        assert peer.profiler.report_fn is sentinel
+
+    def test_builder_detaches_liars_after_run(self, tmp_path):
+        spec = ScenarioSpec.from_dict(small_doc(
+            adversaries={"fraction": 0.25, "mode": "constant",
+                         "claimed_utilization": 0.0},
+        ))
+        stressed = build_stressed_scenario(spec, out_dir=str(tmp_path))
+        stressed.run()
+        assert stressed.liars
+        for liar in stressed.liars:
+            assert liar.peer.profiler.report_fn is liar._forward
+
 
 # ---------------------------------------------------------------------------
 # Builder + end-to-end runs
