@@ -129,7 +129,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "thread perturbs timing, so profiled runs cannot be gated "
         "against --baseline",
     )
+    parser.add_argument(
+        "--profile-period", type=float, default=None, metavar="SECONDS",
+        help="override the profiler's sampling period (default 0.05 s; "
+        "quick rungs finish fast, so smoke runs need a faster clock "
+        "to capture stacks); requires --profile",
+    )
+    parser.add_argument(
+        "--profile-folded", default=None, metavar="PATH",
+        help="write this run's merged .folded profile (all benchmarks' "
+        "best-run stacks summed); requires --profile",
+    )
+    parser.add_argument(
+        "--profile-baseline", default=None, metavar="PATH",
+        help="diff this run's merged profile against a baseline .folded "
+        "and print the top regressed/improved stacks; requires --profile",
+    )
     args = parser.parse_args(argv)
+    if args.profile_period is not None and not args.profile:
+        parser.error("--profile-period needs --profile")
+    if (args.profile_folded or args.profile_baseline) and not args.profile:
+        parser.error(
+            "--profile-folded/--profile-baseline need --profile samples"
+        )
     if args.sample and args.baseline:
         parser.error(
             "--sample changes event counts; gate against a sampled "
@@ -204,6 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 spec.name, spec.build(quick=args.quick, sample=args.sample),
                 params=params, warmup=warmup, repeat=repeat,
                 profile=args.profile,
+                profile_period=args.profile_period,
             )
             records.append(record)
 
@@ -211,6 +234,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(_format_table(records))
     if args.profile:
         _print_hot_paths(records)
+
+    if args.profile_folded or args.profile_baseline:
+        from repro.profiling.folded import (
+            diff_folded,
+            format_diff,
+            merge_folded,
+            parse_folded,
+            read_folded,
+            write_folded,
+        )
+
+        merged = merge_folded(
+            parse_folded(r.folded) for r in records
+            if getattr(r, "folded", None)
+        )
+        if args.profile_folded:
+            write_folded(args.profile_folded, merged)
+            print(f"\nwrote {args.profile_folded}")
+        if args.profile_baseline:
+            try:
+                base = read_folded(args.profile_baseline)
+            except OSError as exc:
+                print(
+                    f"error: cannot read {args.profile_baseline}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            print()
+            print(format_diff(diff_folded(base, merged)))
 
     out_path = args.out
     if out_path is None:

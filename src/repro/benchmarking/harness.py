@@ -86,6 +86,10 @@ class BenchRecord:
     metrics: Dict[str, Any] = field(default_factory=dict)
     #: Hot-path report from the best recorded run (``--profile`` only).
     profile: Optional[Dict[str, Any]] = None
+    #: The best run's raw folded stacks (``--profile`` only).  Kept off
+    #: the JSON report — it is bulky and line-oriented; the CLI writes
+    #: it to a ``.folded`` artifact via ``--profile-folded`` instead.
+    folded: Optional[str] = field(default=None, compare=False)
 
     def as_dict(self) -> Dict[str, Any]:
         out = {
@@ -112,6 +116,7 @@ def run_benchmark(
     warmup: int = 1,
     repeat: int = 3,
     profile: bool = False,
+    profile_period: Optional[float] = None,
 ) -> BenchRecord:
     """Measure *fn* with warmup/repeat discipline.
 
@@ -119,7 +124,10 @@ def run_benchmark(
     wall-clock sampling profiler and the best run's hot-path report
     lands in :attr:`BenchRecord.profile`.  The profiler thread adds a
     little overhead, so profiled runs should not be gated against an
-    unprofiled baseline (the CLI refuses).
+    unprofiled baseline (the CLI refuses).  *profile_period* overrides
+    the sampling period — quick rungs finish in well under a second,
+    so capturing stacks from them needs a faster clock than the 20 Hz
+    default.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -128,12 +136,16 @@ def run_benchmark(
     walls: List[float] = []
     best: Optional[Dict[str, Any]] = None
     best_profile: Optional[Dict[str, Any]] = None
+    best_folded: Optional[str] = None
     for _ in range(repeat):
         sess = None
         if profile:
             from repro.profiling import profile_wall
 
-            sess = profile_wall()
+            kwargs = {}
+            if profile_period is not None:
+                kwargs["period"] = profile_period
+            sess = profile_wall(**kwargs)
         t0 = time.perf_counter()
         try:
             out = fn()
@@ -146,6 +158,10 @@ def run_benchmark(
             best = out
             if sess is not None:
                 best_profile = sess.record(top_n=10)
+                best_folded = (
+                    sess.profiler.agg.to_folded()
+                    if sess.profiler.agg.n_samples else None
+                )
     assert best is not None
     events = int(best.get("events", 0))
     best_wall = min(walls)
@@ -166,6 +182,7 @@ def run_benchmark(
         phases=dict(best.get("phases", {})),
         metrics=dict(best.get("metrics", {})),
         profile=best_profile,
+        folded=best_folded,
     )
 
 

@@ -15,7 +15,9 @@ this package observes the *system running it*:
   burn-rate alerting over HealthSampler series, dumped to the flight
   recorder,
 * :mod:`repro.profiling.attach` — one-call wiring per runtime
-  (:func:`profile_sim` / :func:`profile_wall`).
+  (:func:`profile_sim` / :func:`profile_wall`),
+* :mod:`repro.profiling.folded` — ``.folded`` profile I/O, cross-shard
+  merge, and share-normalized run-to-run diffing.
 
 Everything is stdlib-only and strictly opt-in: nothing here is
 imported or scheduled on the default path, so trajectory goldens and
@@ -32,9 +34,19 @@ from repro.profiling.budget import (
     Actuator,
     OverheadBudgeter,
 )
+from repro.profiling.folded import (
+    diff_folded,
+    format_diff,
+    merge_folded,
+    parse_folded,
+    read_folded,
+    write_folded,
+)
 from repro.profiling.sampler import (
+    DEFAULT_GIL_HANDOFF_S,
     SimEventProfiler,
     WallStackProfiler,
+    estimate_gil_handoff_cost,
 )
 from repro.profiling.slo import (
     DEFAULT_SLOS,
@@ -49,6 +61,7 @@ __all__ = [
     "BurnAlert",
     "BurnRateMonitor",
     "DEFAULT_BUDGET",
+    "DEFAULT_GIL_HANDOFF_S",
     "DEFAULT_SLOS",
     "OverheadBudgeter",
     "ProfileSession",
@@ -56,7 +69,14 @@ __all__ = [
     "SimEventProfiler",
     "StackAggregator",
     "WallStackProfiler",
+    "diff_folded",
+    "estimate_gil_handoff_cost",
     "fold_frames",
+    "format_diff",
+    "merge_folded",
+    "parse_folded",
     "profile_sim",
     "profile_wall",
+    "read_folded",
+    "write_folded",
 ]

@@ -89,6 +89,14 @@ class ProfileSession:
             rec["period"] = self.profiler.period
         rec.update(self.profiler.agg.record(top_n=top_n))
         rec["self_seconds"] = round(self.profiler.self_time_s, 6)
+        if hasattr(self.profiler, "estimated_cost_s"):
+            per = self.profiler.gil_cost_per_sample
+            if per is not None:
+                rec["gil_per_sample_s"] = round(per, 9)
+            rec["gil_seconds"] = round(self.profiler.gil_cost_s, 6)
+            rec["estimated_seconds"] = round(
+                self.profiler.estimated_cost_s, 6
+            )
         rec["budget"] = self.budgeter.record()
         if self.monitor is not None:
             rec["slo"] = self.monitor.record()
@@ -119,7 +127,14 @@ class ProfileSession:
 def _wire_budgeter(
     budgeter: OverheadBudgeter, profiler, sampler, monitor
 ) -> None:
-    budgeter.add_source("profiler", lambda: profiler.self_time_s)
+    # The wall profiler models the GIL-handoff tax each timer wakeup
+    # inflicts on application threads; the budgeter must meter that
+    # estimated total, not just the measured in-sampler time.  The sim
+    # profiler has no such hidden cost and exposes only self_time_s.
+    if hasattr(profiler, "estimated_cost_s"):
+        budgeter.add_source("profiler", lambda: profiler.estimated_cost_s)
+    else:
+        budgeter.add_source("profiler", lambda: profiler.self_time_s)
     if sampler is not None:
         if monitor is not None:
             # The monitor probe runs inside sampler.sample(), so its
@@ -215,9 +230,19 @@ def profile_wall(
     slos: Tuple[SLO, ...] = DEFAULT_SLOS,
     slo_kwargs: Optional[Dict[str, Any]] = None,
     start: bool = True,
+    gil_model: bool = True,
 ) -> ProfileSession:
-    """Attach the profiling bundle to the live (wall-clock) runtime."""
-    profiler = WallStackProfiler(period=period)
+    """Attach the profiling bundle to the live (wall-clock) runtime.
+
+    With *gil_model* (default), the profiler calibrates its per-wakeup
+    GIL-handoff cost on start and the budgeter meters the estimated
+    total cost; ``gil_model=False`` zeroes the model (budgeter sees
+    measured self-time only, the pre-model behaviour).
+    """
+    profiler = WallStackProfiler(
+        period=period,
+        gil_cost_per_sample=None if gil_model else 0.0,
+    )
     budgeter = OverheadBudgeter(budget=budget)
     budgeter.add_actuator(Actuator(
         "wall_period",

@@ -1,0 +1,151 @@
+"""Folded-profile files: read, merge across shards, diff across runs.
+
+``.folded`` is the flamegraph interchange format the profilers emit
+(``stack count`` lines, frames ``;``-joined root-first).  This module
+closes the profile pipeline around it:
+
+* :func:`read_folded` / :func:`write_folded` — file I/O to/from a
+  plain ``stack -> count`` dict;
+* :func:`merge_folded` — sum several profiles (per-shard outputs into
+  one cluster flame profile; sample counts add because every shard's
+  sample stands for the same sampling period);
+* :func:`diff_folded` — compare two profiles by *share* (count /
+  total), so runs of different lengths or sample rates are comparable,
+  and report the top regressed (grew) and improved (shrank) stacks —
+  the answer to "which stack got hot between these two bench runs";
+* :func:`format_diff` — the human-readable report.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Union
+
+#: Share changes smaller than this are noise, not findings.
+DEFAULT_MIN_DELTA = 0.005
+
+
+def parse_folded(text: str) -> Dict[str, float]:
+    """Parse ``.folded`` text into ``{stack: count}``.
+
+    Tolerates blank lines and comments; duplicate stacks accumulate.
+    The count is the last whitespace-separated token (stack frames may
+    contain spaces, e.g. the aggregator's ``(+N)`` suffix).
+    """
+    counts: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack:
+            continue
+        try:
+            num = float(count)
+        except ValueError:
+            continue
+        counts[stack] = counts.get(stack, 0.0) + num
+    return counts
+
+
+def read_folded(src: Union[str, "os.PathLike[str]"]) -> Dict[str, float]:
+    """Load a ``.folded`` file into ``{stack: count}``."""
+    with open(src, "r", encoding="utf-8") as fh:
+        return parse_folded(fh.read())
+
+
+def merge_folded(
+    profiles: Iterable[Dict[str, float]]
+) -> Dict[str, float]:
+    """Sum several ``{stack: count}`` profiles into one."""
+    merged: Dict[str, float] = {}
+    for counts in profiles:
+        for stack, n in counts.items():
+            merged[stack] = merged.get(stack, 0.0) + n
+    return merged
+
+
+def write_folded(
+    path: Union[str, "os.PathLike[str]"], counts: Dict[str, float]
+) -> str:
+    """Write ``{stack: count}`` as ``.folded`` text, hottest first."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for stack, n in sorted(
+            counts.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            fh.write(f"{stack} {max(1, round(n))}\n")
+    return os.fspath(path)
+
+
+def _shares(counts: Dict[str, float]) -> Dict[str, float]:
+    total = sum(counts.values())
+    if total <= 0:
+        return {}
+    return {stack: n / total for stack, n in counts.items()}
+
+
+def diff_folded(
+    base: Dict[str, float],
+    new: Dict[str, float],
+    top_n: int = 10,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> Dict[str, Any]:
+    """Share-normalized profile diff: top regressed/improved stacks.
+
+    A stack's *delta* is ``new_share - base_share``; positive means it
+    grew (regressed).  Stacks moving less than *min_delta* in share are
+    dropped as noise.  Absolute sample counts are reported alongside
+    so the reader can judge statistical weight.
+    """
+    base_shares = _shares(base)
+    new_shares = _shares(new)
+    rows: List[Dict[str, Any]] = []
+    for stack in set(base_shares) | set(new_shares):
+        b = base_shares.get(stack, 0.0)
+        n = new_shares.get(stack, 0.0)
+        delta = n - b
+        if abs(delta) < min_delta:
+            continue
+        rows.append({
+            "stack": stack,
+            "base_share": round(b, 4),
+            "new_share": round(n, 4),
+            "delta": round(delta, 4),
+            "base_count": base.get(stack, 0.0),
+            "new_count": new.get(stack, 0.0),
+        })
+    rows.sort(key=lambda r: (-abs(r["delta"]), r["stack"]))
+    regressed = [r for r in rows if r["delta"] > 0][:top_n]
+    improved = [r for r in rows if r["delta"] < 0][:top_n]
+    return {
+        "base_samples": sum(base.values()),
+        "new_samples": sum(new.values()),
+        "min_delta": min_delta,
+        "regressed": regressed,
+        "improved": improved,
+    }
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """The human-readable ``repro-trace diff-profile`` report."""
+    lines = [
+        f"profile diff: base={diff['base_samples']:g} samples, "
+        f"new={diff['new_samples']:g} samples "
+        f"(min share delta {diff['min_delta']:.1%})"
+    ]
+
+    def section(title: str, rows: List[Dict[str, Any]]) -> None:
+        lines.append(f"{title}:")
+        if not rows:
+            lines.append("  (none)")
+            return
+        for r in rows:
+            lines.append(
+                f"  {r['delta']:+7.1%}  "
+                f"{r['base_share']:.1%} -> {r['new_share']:.1%}  "
+                f"{r['stack']}"
+            )
+
+    section("regressed (grew)", diff["regressed"])
+    section("improved (shrank)", diff["improved"])
+    return "\n".join(lines)

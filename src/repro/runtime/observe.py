@@ -1,0 +1,358 @@
+"""Supervisor-side observability: cluster health rollup + correlated
+flight bundles.
+
+The per-shard observability stack (tracer, HealthSampler, SLO burn
+monitor, flight recorder) judges everything on one process's partial
+view.  This module is the parent-process half of the cluster
+observability plane:
+
+* :class:`ClusterHealth` — folds the per-shard health payloads riding
+  the heartbeat pipe into *cluster-wide* series on a supervisor-owned
+  :class:`~repro.telemetry.timeseries.HealthSampler` (same family
+  names the stock SLOs watch, labelled ``scope=cluster``), and runs a
+  :class:`~repro.profiling.slo.BurnRateMonitor` over them — so miss
+  rate, redirect rate and load imbalance are judged on the merged
+  population, not each shard's slice.
+* :class:`BundleCoordinator` — turns any one shard's flight-recorder
+  dump (or a cluster-level SLO burn) into a *correlated* bundle: it
+  fans a snapshot request out to every shard and collects the per-shard
+  dumps into one reason-keyed directory with a manifest.  It is
+  duck-typed on the recorder's ``trigger(reason, now=None, key=None)``
+  surface so the cluster burn monitor can use it as its dump sink.
+
+Both live in the supervisor process and touch shards only through the
+control pipe, so shard-side behaviour without ``observe`` enabled is
+byte-identical to before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import telemetry
+from repro.profiling.slo import DEFAULT_SLOS, SLO, BurnRateMonitor
+from repro.telemetry.logs import get_logger
+from repro.telemetry.timeseries import HealthSampler, _RateTracker
+
+#: Minimum seconds between cluster-series ticks (heartbeats from N
+#: shards would otherwise tick N times per period).
+DEFAULT_TICK_INTERVAL = 0.5
+
+
+class ClusterHealth:
+    """Cluster-wide health series + SLO burn over shard heartbeats.
+
+    Shards attach a ``health`` payload to each heartbeat::
+
+        {"loads": {"n": 12, "sum": 4.2, "max": 0.9},
+         "finished": {"normal": 30}, "missed": {"normal": 1},
+         "rm": {"admitted": 31, "rejected": 0, "redirected_out": 2},
+         "inflight": 3}
+
+    :meth:`ingest` stores the latest payload per shard;
+    :meth:`maybe_tick` (rate-limited) folds the stored payloads into
+    cluster aggregates — load mean over *all* peers, max/mean imbalance
+    over the merged vector's peak, per-QoS miss ratio over summed
+    counters, RM rates over summed cumulative totals — and evaluates
+    the burn monitor over the merged series.
+    """
+
+    def __init__(
+        self,
+        tel=None,
+        slos: Tuple[SLO, ...] = DEFAULT_SLOS,
+        recorder=None,
+        tick_interval: float = DEFAULT_TICK_INTERVAL,
+        slo_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        # A private (non-activated) wall handle: the supervisor process
+        # has no telemetry of its own and must not flip the global
+        # enabled flag.
+        self.tel = tel or telemetry.Telemetry.wall()
+        self.sampler = HealthSampler(self.tel)
+        self.monitor = BurnRateMonitor(
+            self.sampler, slos=slos, tel=self.tel, recorder=recorder,
+            **(slo_kwargs or {}),
+        )
+        self.tick_interval = float(tick_interval)
+        self._rm_rates = _RateTracker()
+        #: shard_id -> latest health payload.
+        self._latest: Dict[str, Dict[str, Any]] = {}
+        self._last_tick: Optional[float] = None
+        self.n_ticks = 0
+
+    # -- ingestion -----------------------------------------------------------
+    def ingest(self, shard_id: str, health: Dict[str, Any]) -> None:
+        self._latest[shard_id] = health
+
+    def maybe_tick(self, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = self.tel.clock.now()
+        if (
+            self._last_tick is not None
+            and now - self._last_tick < self.tick_interval
+        ):
+            return False
+        self.tick(now)
+        return True
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Fold the stored shard payloads into one cluster sample."""
+        if now is None:
+            now = self.tel.clock.now()
+        self._last_tick = now
+        self.n_ticks += 1
+        s = self.sampler
+        s._now = now  # every observe() below stamps at this tick
+
+        n = 0
+        load_sum = 0.0
+        load_max = 0.0
+        finished: Dict[str, float] = {}
+        missed: Dict[str, float] = {}
+        rm_totals = {"admitted": 0.0, "rejected": 0.0,
+                     "redirected_out": 0.0}
+        for sid in sorted(self._latest):
+            h = self._latest[sid]
+            loads = h.get("loads") or {}
+            sn = int(loads.get("n", 0))
+            ssum = float(loads.get("sum", 0.0))
+            smax = float(loads.get("max", 0.0))
+            n += sn
+            load_sum += ssum
+            load_max = max(load_max, smax)
+            s_mean = ssum / sn if sn else 0.0
+            s.observe("repro_shard_load_mean", s_mean, shard=sid)
+            s.observe("repro_shard_load_max", smax, shard=sid)
+            s.observe(
+                "repro_shard_imbalance",
+                smax / s_mean if s_mean > 0 else 1.0,
+                shard=sid,
+            )
+            s.observe(
+                "repro_shard_tasks_inflight",
+                float(h.get("inflight", 0)), shard=sid,
+            )
+            for cls, v in (h.get("finished") or {}).items():
+                finished[cls] = finished.get(cls, 0.0) + v
+            for cls, v in (h.get("missed") or {}).items():
+                missed[cls] = missed.get(cls, 0.0) + v
+            for key, v in (h.get("rm") or {}).items():
+                if key in rm_totals:
+                    rm_totals[key] += float(v)
+
+        mean = load_sum / n if n else 0.0
+        # Peak-over-mean of the *merged* load vector: per-shard maxima
+        # are exact order statistics, so the cluster max is too.
+        imbalance = load_max / mean if mean > 0 else 1.0
+        s.observe("repro_load_mean", mean, scope="cluster")
+        s.observe("repro_load_imbalance", imbalance, scope="cluster")
+        for cls in sorted(finished) or ["normal"]:
+            done = finished.get(cls, 0.0)
+            ratio = missed.get(cls, 0.0) / done if done else 0.0
+            s.observe(
+                "repro_sched_miss_ratio", ratio, qos=cls, scope="cluster"
+            )
+        rates = self._rm_rates.rates(now, rm_totals)
+        s.observe(
+            "repro_rm_admission_rate", rates["admitted"], scope="cluster"
+        )
+        s.observe(
+            "repro_rm_reject_rate", rates["rejected"], scope="cluster"
+        )
+        s.observe(
+            "repro_rm_redirect_rate", rates["redirected_out"],
+            scope="cluster",
+        )
+        s.n_samples += 1
+        self.monitor.evaluate(now)
+
+    # -- exports -------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """JSONL-ready ``series`` records of every cluster/shard ring."""
+        return self.sampler.records()
+
+    def prometheus_lines(self) -> List[str]:
+        """Cluster-rollup gauges for the supervisor's /metrics."""
+        out: List[str] = []
+
+        def gauge(name: str, help_text: str, rings) -> None:
+            rows = [
+                (ring.labels, ring.last)
+                for ring in rings if ring.last is not None
+            ]
+            if not rows:
+                return
+            out.append(f"# HELP {name} {help_text}")
+            out.append(f"# TYPE {name} gauge")
+            for labels, last in rows:
+                if labels:
+                    lbl = ",".join(
+                        f'{k}="{v}"' for k, v in sorted(labels.items())
+                    )
+                    out.append(f"{name}{{{lbl}}} {round(last, 6)}")
+                else:
+                    out.append(f"{name} {round(last, 6)}")
+
+        fam = self.sampler.series_family
+        gauge(
+            "repro_cluster_load_mean",
+            "Mean peer load over the merged population",
+            fam("repro_load_mean"),
+        )
+        gauge(
+            "repro_cluster_load_imbalance",
+            "Max/mean load imbalance over the merged population",
+            fam("repro_load_imbalance"),
+        )
+        gauge(
+            "repro_cluster_miss_ratio",
+            "Cluster-wide deadline-miss ratio per QoS class",
+            fam("repro_sched_miss_ratio"),
+        )
+        gauge(
+            "repro_cluster_slo_burn_rate",
+            "Cluster-level error-budget burn rate per SLO window",
+            fam("repro_slo_burn_rate"),
+        )
+        return out
+
+
+class BundleCoordinator:
+    """Correlates per-shard flight dumps into one bundle per trigger.
+
+    One anomaly, one artifact: on a trigger — either a shard reporting
+    its own flight-recorder dump (:meth:`on_shard_dump`) or a
+    cluster-level detector calling :meth:`trigger` — the coordinator
+    opens ``<out_dir>/<NNN>-<reason>/``, asks every (other) shard for a
+    snapshot via *fanout*, and lands each shard's dump in the bundle as
+    ``<shard>.jsonl`` next to a ``manifest.json``.  A per-key cooldown
+    coalesces sustained anomalies, mirroring the recorder's own
+    semantics (so it can serve as the cluster burn monitor's recorder).
+    """
+
+    def __init__(
+        self,
+        out_dir: str,
+        fanout: Callable[[str, int, Optional[str]], None],
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.out_dir = out_dir
+        self._fanout = fanout
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._last: Dict[str, float] = {}
+        #: Bundles begun, in order: {"n", "reason", "source", "dir",
+        #: "shards": {sid: filename}}.
+        self.bundles: List[Dict[str, Any]] = []
+        self.skipped: Dict[str, int] = {}
+        self.log = get_logger("runtime.observe")
+
+    # -- triggering ----------------------------------------------------------
+    def trigger(
+        self,
+        reason: str,
+        now: Optional[float] = None,
+        key: Optional[str] = None,
+    ) -> Optional[str]:
+        """Supervisor-initiated bundle (duck-typed recorder surface).
+
+        Returns the bundle directory, or None while cooling down.
+        """
+        return self._begin(reason, source="supervisor", key=key)
+
+    def on_shard_dump(self, shard_id: str, reason: str,
+                      path: Optional[str]) -> Optional[str]:
+        """A shard's own recorder fired: correlate its peers.
+
+        The triggering shard's dump is adopted into the bundle
+        directly; the snapshot fan-out excludes it (a second dump
+        milliseconds later would only duplicate the first).
+        """
+        bundle_dir = self._begin(reason, source=shard_id, exclude=shard_id)
+        if bundle_dir is not None and path:
+            self._adopt(self.bundles[-1], shard_id, path)
+        return bundle_dir
+
+    def _begin(
+        self,
+        reason: str,
+        source: str,
+        key: Optional[str] = None,
+        exclude: Optional[str] = None,
+    ) -> Optional[str]:
+        now = self._clock()
+        k = key or reason
+        last = self._last.get(k)
+        if last is not None and now - last < self.cooldown:
+            self.skipped[reason] = self.skipped.get(reason, 0) + 1
+            return None
+        self._last[k] = now
+        n = len(self.bundles)
+        bundle_dir = os.path.join(self.out_dir, f"{n:03d}-{reason}")
+        os.makedirs(bundle_dir, exist_ok=True)
+        bundle = {
+            "n": n, "reason": reason, "source": source,
+            "time_unix": round(time.time(), 3),
+            "dir": bundle_dir, "shards": {},
+        }
+        self.bundles.append(bundle)
+        self._write_manifest(bundle)
+        self.log.info(
+            "correlated bundle %03d (%s, source=%s)", n, reason, source
+        )
+        self._fanout(reason, n, exclude)
+        return bundle_dir
+
+    # -- collection ----------------------------------------------------------
+    def on_snapshot_done(
+        self,
+        shard_id: str,
+        reason: str,
+        bundle_n: Optional[int],
+        path: Optional[str],
+    ) -> None:
+        if bundle_n is None or not (0 <= bundle_n < len(self.bundles)):
+            return
+        if path:
+            self._adopt(self.bundles[bundle_n], shard_id, path)
+
+    def _adopt(self, bundle: Dict[str, Any], shard_id: str,
+               path: str) -> None:
+        dest = os.path.join(bundle["dir"], f"{shard_id}.jsonl")
+        try:
+            shutil.copyfile(path, dest)
+        except OSError:
+            return
+        bundle["shards"][shard_id] = os.path.basename(dest)
+        self._write_manifest(bundle)
+
+    def _write_manifest(self, bundle: Dict[str, Any]) -> None:
+        manifest = {k: v for k, v in bundle.items() if k != "dir"}
+        try:
+            with open(
+                os.path.join(bundle["dir"], "manifest.json"),
+                "w", encoding="utf-8",
+            ) as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError:
+            pass
+
+    def record(self) -> List[Dict[str, Any]]:
+        """JSON-ready summary of the bundles (soak result document)."""
+        return [
+            {
+                "n": b["n"], "reason": b["reason"], "source": b["source"],
+                "dir": b["dir"], "shards": sorted(b["shards"]),
+            }
+            for b in self.bundles
+        ]
+
+    def __repr__(self) -> str:
+        return f"<BundleCoordinator bundles={len(self.bundles)}>"

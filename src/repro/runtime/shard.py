@@ -34,6 +34,7 @@ import asyncio
 import os
 import random
 import signal
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
@@ -44,9 +45,11 @@ from repro.runtime.agent import RosterAgent
 from repro.runtime.node import LiveNode, NodeSpec
 from repro.runtime.transport import PeerDirectory
 from repro.tasks.task import ApplicationTask
+from repro.telemetry.export import TRACE_FORMAT_VERSION
 from repro.telemetry.flight_recorder import FlightRecorder
 from repro.telemetry.httpd import TelemetryHTTPServer
 from repro.telemetry.logs import get_logger
+from repro.telemetry.ship import TraceShipper
 
 #: Tracer history kept per shard (a soak must not grow without bound;
 #: the flight recorder keeps its own ring on top of the live stream).
@@ -73,6 +76,13 @@ class ShardConfig:
     metrics_port: int = 0
     #: Directory for flight-recorder bundles (None = no recorder).
     record_dir: Optional[str] = None
+    #: Join the cluster observability plane: ship spans/events up the
+    #: supervisor pipe, attach the wall profiler (with the GIL cost
+    #: model) + overhead budgeter, report health payloads in the
+    #: heartbeat, and answer correlated snapshot requests.
+    observe: bool = False
+    #: Wall profiler sampling period when ``observe`` is on.
+    profiler_period: float = 0.05
     #: Tasks/s this shard originates (0 = driven by ``submit`` messages).
     task_rate: float = 0.0
     task_deadline: float = 20.0
@@ -98,6 +108,9 @@ class ShardHost:
         self.tel: Optional[telemetry.Telemetry] = None
         self.httpd: Optional[TelemetryHTTPServer] = None
         self.recorder: Optional[FlightRecorder] = None
+        self.shipper: Optional[TraceShipper] = None
+        self.profile: Optional[Any] = None
+        self._epoch_unix: Optional[float] = None
         self.draining = False
         self._paused = False
         self._ready = asyncio.Event()
@@ -134,6 +147,7 @@ class ShardHost:
             raise
         await self._drain_requested.wait()
         clean = await self._drain()
+        self._final_flush()
         self._send({
             "type": "drained", "shard": self.cfg.shard_id,
             "ok": clean, "inflight": len(self._inflight),
@@ -149,6 +163,9 @@ class ShardHost:
         cfg = self.cfg
         if cfg.telemetry:
             self.tel = telemetry.activate(telemetry.Telemetry.wall())
+            # Unix time of the wall clock's zero point: the cluster
+            # merge aligns per-shard timestamps with this.
+            self._epoch_unix = time.time()
             self.httpd = TelemetryHTTPServer(
                 self._metrics_text, health_fn=self._health,
                 host=cfg.host, port=cfg.metrics_port,
@@ -157,6 +174,20 @@ class ShardHost:
             if cfg.record_dir:
                 self.recorder = FlightRecorder(
                     self.tel, out_dir=cfg.record_dir,
+                )
+            if cfg.observe:
+                self.shipper = TraceShipper(
+                    self.tel.tracer, shard=cfg.shard_id
+                )
+                if self.recorder is not None:
+                    self.recorder.on_dump = self._on_flight_dump
+                # Deferred import: profiling is opt-in; the default
+                # shard path must not even load it.
+                from repro.profiling.attach import profile_wall
+
+                self.profile = profile_wall(
+                    tel=self.tel, recorder=self.recorder,
+                    period=cfg.profiler_period, start=True,
                 )
         self.agent = RosterAgent(
             cfg.shard_id, self.directory,
@@ -219,6 +250,10 @@ class ShardHost:
             self._tasks.append(self._loop.create_task(
                 self._trim_loop(), name=f"trim:{cfg.shard_id}"
             ))
+        if self.shipper is not None:
+            self._tasks.append(self._loop.create_task(
+                self._ship_loop(), name=f"ship:{cfg.shard_id}"
+            ))
 
     # -- RM watch ----------------------------------------------------------
     def _on_rm_state(self, rm_id: str, ready: bool, epoch: int) -> None:
@@ -268,6 +303,8 @@ class ShardHost:
             assert self._loop is not None
             for _ in range(int(msg.get("n", 1))):
                 self._loop.create_task(self._submit_one())
+        elif kind == "snapshot":
+            self._on_snapshot(msg)
 
     def _send(self, msg: Dict[str, Any]) -> None:
         try:
@@ -326,12 +363,40 @@ class ShardHost:
             "outcome": task.outcome.value if task.outcome else None,
         })
 
+    # -- correlated snapshots ----------------------------------------------
+    def _on_flight_dump(self, reason: str, path: str) -> None:
+        """Recorder callback: tell the supervisor so it can correlate
+        this shard's dump with snapshots from its peers."""
+        self._send({
+            "type": "flight", "shard": self.cfg.shard_id,
+            "reason": reason, "path": path,
+        })
+
+    def _on_snapshot(self, msg: Dict[str, Any]) -> None:
+        """Supervisor-requested dump for a correlated bundle.  Bypasses
+        the recorder's cooldown (the coordinator owns coalescing) and
+        suppresses on_dump — reporting this dump as a fresh local
+        trigger would bounce the fan-out forever."""
+        reason = str(msg.get("reason", "snapshot"))
+        path = None
+        if self.recorder is not None:
+            cb = self.recorder.on_dump
+            self.recorder.on_dump = None
+            try:
+                path = self.recorder.dump(reason)
+            finally:
+                self.recorder.on_dump = cb
+        self._send({
+            "type": "snapshot_done", "shard": self.cfg.shard_id,
+            "reason": reason, "bundle": msg.get("bundle"), "path": path,
+        })
+
     # -- periodic loops ----------------------------------------------------
     async def _heartbeat_loop(self) -> None:
         assert self.agent is not None
         while True:
             await asyncio.sleep(self.cfg.heartbeat_period)
-            self._send({
+            msg = {
                 "type": "hb", "shard": self.cfg.shard_id,
                 "joined": self._joined(),
                 "nodes": len(self.nodes),
@@ -342,16 +407,77 @@ class ShardHost:
                 "submitted": self.submitted,
                 "accepted": self.accepted,
                 "draining": self.draining,
-            })
+            }
+            if self.cfg.observe:
+                msg["health"] = self._health_payload()
+            self._send(msg)
+
+    def _health_payload(self) -> Dict[str, Any]:
+        """The heartbeat's cluster-health contribution: compact
+        aggregates the supervisor can merge exactly (sums and maxima,
+        not shard-level means)."""
+        loads: List[float] = []
+        finished: Dict[str, int] = {}
+        missed: Dict[str, int] = {}
+        rm = {"admitted": 0.0, "rejected": 0.0, "redirected_out": 0.0}
+        for live in self.nodes.values():
+            sig = live.health_signal()
+            if sig.get("load") is not None:
+                loads.append(sig["load"])
+            for cls, n in sig.get("finished_by_class", {}).items():
+                finished[cls] = finished.get(cls, 0) + n
+            for cls, n in sig.get("missed_by_class", {}).items():
+                missed[cls] = missed.get(cls, 0) + n
+            stats = getattr(live.node, "stats", None)
+            if stats is not None:
+                for key in rm:
+                    rm[key] += stats.get(key, 0)
+        return {
+            "loads": {
+                "n": len(loads),
+                "sum": sum(loads),
+                "max": max(loads) if loads else 0.0,
+            },
+            "finished": finished,
+            "missed": missed,
+            "rm": rm,
+            "inflight": len(self._inflight),
+        }
+
+    def _trace_meta(self) -> Dict[str, Any]:
+        assert self.tel is not None
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "shard": self.cfg.shard_id,
+            "clock": self.tel.clock.label,
+            "epoch_unix": self._epoch_unix,
+        }
+
+    async def _ship_loop(self) -> None:
+        """Flush new spans/events up the pipe (cluster trace stream)."""
+        assert self.shipper is not None
+        while True:
+            await asyncio.sleep(1.0)
+            records = self.shipper.collect(limit=4000)
+            if records:
+                self._send({
+                    "type": "trace", "shard": self.cfg.shard_id,
+                    "meta": self._trace_meta(), "records": records,
+                })
 
     async def _trim_loop(self) -> None:
         """Bound tracer history: a soak would otherwise grow it forever
         (the flight recorder taps the stream, so trimming loses nothing
-        it cares about)."""
+        it cares about).  With a shipper attached the trim goes through
+        it — only records already flushed to the export stream are
+        dropped, closing the burst-loss window the bare ``del`` had."""
         assert self.tel is not None
         tracer = self.tel.tracer
         while True:
             await asyncio.sleep(5.0)
+            if self.shipper is not None:
+                self.shipper.trim(_TRACE_KEEP, high=_TRACE_HIGH)
+                continue
             if len(tracer.spans) > _TRACE_HIGH:
                 del tracer.spans[:-_TRACE_KEEP]
             if len(tracer.events) > _TRACE_HIGH:
@@ -391,6 +517,8 @@ class ShardHost:
                 "repro_shard_roster_agents_up",
                 help="Live agents in this shard's roster replica",
             ).set(float(counts["agents_up"]))
+        if self.profile is not None:
+            self.profile.budgeter.publish(m)
         return m.to_prometheus_text()
 
     def _health(self) -> Dict[str, Any]:
@@ -433,7 +561,30 @@ class ShardHost:
             self.agent.tombstone_local(node.node_id)
         return clean
 
+    def _final_flush(self) -> None:
+        """Ship the tail of the trace stream and the shard's profile
+        before announcing ``drained`` (the supervisor consumes the pipe
+        in order, so these land before it stops listening)."""
+        if self.shipper is not None:
+            records = self.shipper.collect()
+            if records:
+                self._send({
+                    "type": "trace", "shard": self.cfg.shard_id,
+                    "meta": self._trace_meta(), "records": records,
+                })
+        if self.profile is not None:
+            self.profile.stop()
+            agg = self.profile.profiler.agg
+            if agg.n_samples:
+                self._send({
+                    "type": "folded", "shard": self.cfg.shard_id,
+                    "text": agg.to_folded(),
+                    "profile": self.profile.record(top_n=10),
+                })
+
     async def _teardown(self, crash: bool) -> None:
+        if self.profile is not None:
+            self.profile.stop()
         for task in self._tasks:
             task.cancel()
         if self._tasks:

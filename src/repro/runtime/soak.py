@@ -55,6 +55,10 @@ class SoakConfig:
     host: str = "127.0.0.1"
     metrics_port: int = 0
     record_dir: Optional[str] = None
+    #: Root of the cluster observability plane's artifacts (per-shard
+    #: trace streams, merged cluster trace + .folded, correlated flight
+    #: bundles).  None = plane off, shard behaviour unchanged.
+    observe_dir: Optional[str] = None
     seed: int = 7
     profiler_update_period: float = 5.0
     gossip_period: float = 1.0
@@ -123,6 +127,7 @@ def soak_shard_configs(cfg: SoakConfig) -> List[ShardConfig]:
             join_timeout=cfg.join_timeout,
             gossip_period=cfg.gossip_period,
             record_dir=record_dir,
+            observe=cfg.observe_dir is not None,
             task_rate=cfg.task_rate / len(buckets),
             task_deadline=cfg.task_deadline,
             seed=cfg.seed + i,
@@ -138,6 +143,7 @@ async def run_soak(cfg: SoakConfig) -> Dict[str, Any]:
     sup = ClusterSupervisor(
         configs, metrics_port=cfg.metrics_port,
         start_timeout=cfg.join_timeout,
+        observe_dir=cfg.observe_dir,
     )
     result: Dict[str, Any] = {
         "peers": cfg.peers, "shards": len(configs),
@@ -193,6 +199,22 @@ async def run_soak(cfg: SoakConfig) -> Dict[str, Any]:
         if sup.httpd is not None:
             result["metrics_url"] = sup.httpd.url
 
+        if cfg.observe_dir:
+            # Force one correlated bundle so every soak produces the
+            # artifact even when no anomaly fired on its own.
+            bundle_dir = sup.request_snapshot("soak_checkpoint")
+            if bundle_dir is not None and cfg.record_dir:
+                live = sum(
+                    1 for sh in sup.shards.values()
+                    if sh.proc is not None and sh.proc.is_alive()
+                )
+                deadline = loop.time() + 10.0
+                while loop.time() < deadline:
+                    bundle = sup.coordinator.bundles[-1]
+                    if len(bundle["shards"]) >= live:
+                        break
+                    await asyncio.sleep(0.1)
+
         if cfg.drain:
             rm_sid = sup.rm_shard_id()
             targets = [
@@ -210,6 +232,9 @@ async def run_soak(cfg: SoakConfig) -> Dict[str, Any]:
     finally:
         await sup.stop()
 
+    if cfg.observe_dir:
+        result["observe"] = sup.write_cluster_artifacts()
+
     checks = [
         result["converged"], result["no_task_lost"], result["metrics_ok"],
     ]
@@ -217,6 +242,14 @@ async def run_soak(cfg: SoakConfig) -> Dict[str, Any]:
         checks.append(bool(result["respawned"]))
     if cfg.drain:
         checks.append(bool(result["drain"] and result["drain"]["ok"]))
+    if cfg.observe_dir:
+        obs = result.get("observe") or {}
+        result["observe_ok"] = bool(
+            obs.get("trace")
+            and os.path.exists(obs["trace"])
+            and obs.get("orphan_spans", 1) == 0
+        )
+        checks.append(result["observe_ok"])
     result["ok"] = all(checks)
     return result
 
@@ -238,6 +271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics-port", type=int, default=0)
     parser.add_argument("--record-dir", default=None,
                         help="flight-recorder bundle directory")
+    parser.add_argument("--observe", dest="observe_dir", default=None,
+                        help="cluster observability artifact directory "
+                             "(per-shard traces, merged trace/.folded, "
+                             "correlated bundles)")
     parser.add_argument("--profiler-period", type=float, default=5.0)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", dest="json_out", default=None,
@@ -248,7 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         peers=args.peers, shards=args.shards, duration=args.duration,
         task_rate=args.rate, kill=not args.no_kill,
         drain=not args.no_drain, metrics_port=args.metrics_port,
-        record_dir=args.record_dir,
+        record_dir=args.record_dir, observe_dir=args.observe_dir,
         profiler_update_period=args.profiler_period, seed=args.seed,
     )
     result = asyncio.run(run_soak(cfg))

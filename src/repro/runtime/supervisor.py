@@ -26,10 +26,12 @@ agents' addresses as gossip seeds, and then supervises:
 from __future__ import annotations
 
 import asyncio
+import json
 import multiprocessing
+import os
 import urllib.request
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, IO, List, Optional, Tuple
 
 from repro.core.control.events import TERMINAL_EVENTS
 from repro.runtime.agent import agent_id_for
@@ -50,9 +52,50 @@ def partition_specs(
     return [bucket for bucket in out if bucket]
 
 
-def merge_prometheus(texts: List[str]) -> str:
+#: Per-family aggregation for the merged /metrics exposition.
+#:
+#: The default is **sum** — right for counters and for *additive*
+#: gauges where each shard owns a disjoint slice of the cluster fact
+#: (``repro_shard_nodes_joined``, ``repro_shard_tasks_inflight``).
+#: Families listed here take **max** instead: they are *replicated
+#: views* (every shard reports its own copy of the same cluster-wide
+#: or per-process fact), and summing N identical replicas would
+#: silently report N× the truth — e.g. ``repro_shard_rm_ready`` is a
+#: 0/1 flag each shard's roster replica holds, and
+#: ``repro_shard_roster_nodes_up`` is every shard's count of the whole
+#: roster, not of its own nodes.
+DEFAULT_FAMILY_AGG: Dict[str, str] = {
+    # Roster replicas: each shard reports the same cluster-wide view.
+    "repro_shard_rm_ready": "max",
+    "repro_shard_roster_nodes_up": "max",
+    "repro_shard_roster_agents_up": "max",
+    # Per-process state flags/ratios: summing replicas is meaningless;
+    # the worst shard is the cluster answer.
+    "repro_flightrecorder_cooldown_active": "max",
+    "repro_slo_burn_rate": "max",
+    "repro_slo_alert_active": "max",
+    "repro_prof_overhead_ratio": "max",
+    "repro_prof_overhead_cumulative": "max",
+    "repro_prof_budget_target": "max",
+    "repro_prof_sample_setting": "max",
+}
+
+
+def _family_of(series: str) -> str:
+    """Metric family name of an exposition series string."""
+    return series.split("{", 1)[0].strip()
+
+
+def merge_prometheus(
+    texts: List[str],
+    family_agg: Optional[Dict[str, str]] = None,
+) -> str:
     """Merge several Prometheus text expositions: ``# HELP``/``# TYPE``
-    kept once per metric, samples summed per ``name{labels}``."""
+    kept once per metric, samples merged per ``name{labels}`` with
+    explicit per-family semantics — ``sum`` by default, ``max`` for
+    families *family_agg* (default :data:`DEFAULT_FAMILY_AGG`) marks as
+    replicated views."""
+    agg_for = DEFAULT_FAMILY_AGG if family_agg is None else family_agg
     meta: Dict[str, str] = {}
     meta_order: List[str] = []
     samples: Dict[str, float] = {}
@@ -76,9 +119,12 @@ def merge_prometheus(texts: List[str]) -> str:
             except ValueError:
                 continue
             if series not in samples:
-                samples[series] = 0.0
+                samples[series] = num
                 sample_order.append(series)
-            samples[series] += num
+            elif agg_for.get(_family_of(series)) == "max":
+                samples[series] = max(samples[series], num)
+            else:
+                samples[series] += num
     lines = [meta[k] for k in meta_order]
     lines += [f"{series} {samples[series]}" for series in sample_order]
     return "\n".join(lines) + "\n"
@@ -158,6 +204,7 @@ class ClusterSupervisor:
         respawn_backoff_max: float = 8.0,
         max_restarts: int = 5,
         start_timeout: float = 60.0,
+        observe_dir: Optional[str] = None,
     ) -> None:
         if not configs:
             raise ValueError("need at least one shard config")
@@ -185,6 +232,33 @@ class ClusterSupervisor:
                 host=configs[0].host, port=metrics_port,
             )
         self._submit_rr = 0
+        #: The cluster observability plane (None unless *observe_dir*).
+        self.observe_dir = observe_dir
+        self.cluster_health: Optional[Any] = None
+        self.coordinator: Optional[Any] = None
+        #: shard_id -> open per-shard trace sink for the current
+        #: incarnation: {"epoch", "fh", "path"}.
+        self._trace_sinks: Dict[str, Dict[str, Any]] = {}
+        self._trace_paths: List[str] = []
+        self._trace_seq: Dict[str, int] = {}
+        #: shard_id -> .folded artifact paths (one per drained
+        #: incarnation) and the final profile records.
+        self._folded_paths: List[str] = []
+        self.shard_profiles: Dict[str, Dict[str, Any]] = {}
+        if observe_dir is not None:
+            os.makedirs(observe_dir, exist_ok=True)
+            # Deferred import: the observability plane pulls in the
+            # profiling package, which stays off the default path.
+            from repro.runtime.observe import (
+                BundleCoordinator,
+                ClusterHealth,
+            )
+
+            self.coordinator = BundleCoordinator(
+                os.path.join(observe_dir, "correlated"),
+                fanout=self._fanout_snapshot,
+            )
+            self.cluster_health = ClusterHealth(recorder=self.coordinator)
         self.log = get_logger("runtime.supervisor")
 
     # -- lifecycle ---------------------------------------------------------
@@ -286,6 +360,10 @@ class ClusterSupervisor:
                 and msg.get("joined") == msg.get("nodes")
             ):
                 sh.status = "running"
+            health = msg.get("health")
+            if health is not None and self.cluster_health is not None:
+                self.cluster_health.ingest(sid, health)
+                self.cluster_health.maybe_tick()
         elif kind == "task":
             self.ledger.on_rm_event(
                 msg["tid"], msg["ev"], msg.get("outcome")
@@ -299,6 +377,21 @@ class ClusterSupervisor:
         elif kind == "drained":
             sh.status = "drained"
             sh.drained_event.set()
+        elif kind == "trace":
+            self._on_trace(sid, msg)
+        elif kind == "folded":
+            self._on_folded(sid, msg)
+        elif kind == "flight":
+            if self.coordinator is not None:
+                self.coordinator.on_shard_dump(
+                    sid, msg.get("reason", "?"), msg.get("path")
+                )
+        elif kind == "snapshot_done":
+            if self.coordinator is not None:
+                self.coordinator.on_snapshot_done(
+                    sid, msg.get("reason", "?"),
+                    msg.get("bundle"), msg.get("path"),
+                )
         elif kind == "fatal":
             self.log.warning("shard %s fatal: %s", sid, msg.get("error"))
 
@@ -309,6 +402,141 @@ class ClusterSupervisor:
         sh = self.shards.get(shard_id)
         if sh is not None and sh.proc is not None and sh.proc.is_alive():
             self._send(sh, {"type": "task_done", "tid": tid})
+
+    # -- observability plane (pipe side) -----------------------------------
+    def _on_trace(self, sid: str, msg: Dict[str, Any]) -> None:
+        """Land a shard's shipped span/event batch in its per-shard
+        JSONL stream.  A respawned shard has a new wall-clock epoch, so
+        a meta change rotates to a fresh per-incarnation file — the
+        merge treats each incarnation as its own part."""
+        if self.observe_dir is None:
+            return
+        meta = dict(msg.get("meta") or {})
+        sink = self._trace_sinks.get(sid)
+        if sink is None or sink["epoch"] != meta.get("epoch_unix"):
+            if sink is not None:
+                self._close_sink(sink)
+            seq = self._trace_seq.get(sid, 0)
+            self._trace_seq[sid] = seq + 1
+            path = os.path.join(
+                self.observe_dir, f"trace-{sid}-{seq}.jsonl"
+            )
+            fh: IO[str] = open(path, "w", encoding="utf-8")
+            fh.write(json.dumps({"type": "meta", **meta}) + "\n")
+            sink = {"epoch": meta.get("epoch_unix"), "fh": fh, "path": path}
+            self._trace_sinks[sid] = sink
+            self._trace_paths.append(path)
+        fh = sink["fh"]
+        for rec in msg.get("records", []):
+            fh.write(json.dumps(rec, separators=(",", ":"), default=str))
+            fh.write("\n")
+        fh.flush()
+
+    def _on_folded(self, sid: str, msg: Dict[str, Any]) -> None:
+        if self.observe_dir is None:
+            return
+        text = msg.get("text") or ""
+        if not text:
+            return
+        seq = len(self._folded_paths)
+        path = os.path.join(
+            self.observe_dir, f"folded-{sid}-{seq}.folded"
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        self._folded_paths.append(path)
+        profile = msg.get("profile")
+        if profile is not None:
+            self.shard_profiles[sid] = profile
+
+    def _close_sink(self, sink: Dict[str, Any]) -> None:
+        try:
+            sink["fh"].close()
+        except OSError:
+            pass
+
+    def _fanout_snapshot(
+        self, reason: str, bundle_n: int, exclude: Optional[str]
+    ) -> None:
+        """BundleCoordinator callback: ask every live shard to dump."""
+        for sid, sh in self.shards.items():
+            if sid == exclude:
+                continue
+            if sh.proc is not None and sh.proc.is_alive():
+                self._send(sh, {
+                    "type": "snapshot", "reason": reason,
+                    "bundle": bundle_n,
+                })
+
+    def request_snapshot(self, reason: str) -> Optional[str]:
+        """Supervisor-initiated correlated bundle (None while cooling
+        down or when the plane is off)."""
+        if self.coordinator is None:
+            return None
+        return self.coordinator.trigger(reason)
+
+    def write_cluster_artifacts(self) -> Optional[Dict[str, Any]]:
+        """Merge the per-shard streams into the cluster artifacts.
+
+        Call after :meth:`stop` (or at least after the shards of
+        interest drained).  Produces ``cluster-trace.jsonl`` — the
+        epoch-aligned, id-re-keyed, parent-stitched merge of every
+        shard incarnation's stream plus the supervisor's cluster-health
+        series — and ``cluster.folded``, the summed flame profile.
+        Returns paths plus the cross-shard connectivity summary.
+        """
+        if self.observe_dir is None:
+            return None
+        from repro.profiling.folded import merge_folded, read_folded
+        from repro.telemetry.cluster import (
+            cross_shard_summary,
+            merge_traces,
+            write_trace_data,
+        )
+        from repro.telemetry.export import read_jsonl
+
+        for sink in self._trace_sinks.values():
+            self._close_sink(sink)
+        self._trace_sinks.clear()
+        parts = []
+        for path in self._trace_paths:
+            try:
+                parts.append(read_jsonl(path))
+            except (OSError, ValueError):
+                continue
+        merged = merge_traces(parts)
+        if self.cluster_health is not None:
+            merged.series.extend(self.cluster_health.records())
+        trace_path = os.path.join(self.observe_dir, "cluster-trace.jsonl")
+        write_trace_data(trace_path, merged)
+        folded_path = None
+        if self._folded_paths:
+            counts = merge_folded(
+                read_folded(p) for p in self._folded_paths
+            )
+            if counts:
+                from repro.profiling.folded import write_folded
+
+                folded_path = write_folded(
+                    os.path.join(self.observe_dir, "cluster.folded"),
+                    counts,
+                )
+        summary = cross_shard_summary(merged)
+        return {
+            "trace": trace_path,
+            "folded": folded_path,
+            "parts": len(parts),
+            "stitched_spans": merged.meta.get("stitched_spans", 0),
+            "tasks": summary["tasks"],
+            "cross_shard_tasks": summary["cross_shard_tasks"],
+            "connected_tasks": summary["connected_tasks"],
+            "orphan_spans": summary["orphan_spans"],
+            "bundles": (
+                self.coordinator.record()
+                if self.coordinator is not None else []
+            ),
+            "profiles": self.shard_profiles,
+        }
 
     def _on_crash(self, sid: str, sh: _Shard) -> None:
         sh.status = "crashed"
@@ -509,6 +737,15 @@ class ClusterSupervisor:
         await asyncio.gather(*(
             self._join_proc(sh) for sh in self.shards.values()
         ))
+        # The pump exits as soon as _closing flips, but a SIGTERM'd
+        # shard drains on its way out — sweep the pipes once after the
+        # join so its final trace/profile shipments still land.
+        for sid, sh in self.shards.items():
+            try:
+                while sh.conn.poll(0):
+                    self._on_msg(sid, sh, sh.conn.recv())
+            except (EOFError, OSError):
+                pass
         for sh in self.shards.values():
             sh.status = "stopped"
             try:
@@ -521,6 +758,9 @@ class ClusterSupervisor:
                 await self._pump_task
             except (asyncio.CancelledError, Exception):
                 pass
+        for sink in self._trace_sinks.values():
+            self._close_sink(sink)
+        self._trace_sinks.clear()
         if self.httpd is not None:
             self.httpd.close()
 
@@ -570,6 +810,8 @@ class ClusterSupervisor:
             "# TYPE repro_supervisor_tasks_terminal_total counter",
             f"repro_supervisor_tasks_terminal_total {counts['terminal']}",
         ]
+        if self.cluster_health is not None:
+            extra += self.cluster_health.prometheus_lines()
         return merged + "\n".join(extra) + "\n"
 
     def status(self) -> Dict[str, Any]:

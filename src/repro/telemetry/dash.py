@@ -12,6 +12,10 @@ and renders one sparkline per health series — the Figures 1–3-style
 views (deadline-miss ratio, load imbalance, staleness, net rates)
 regenerated from any run.  A flight-recorder bundle adds an anomaly
 section: reason, trigger time, and the windowed event counts.
+
+Merged cluster traces (``repro-trace merge`` output, ``--observe``
+soaks) additionally render a *cluster* panel: supervisor-aggregated
+miss ratio, per-shard imbalance spread, and SLO burn state.
 """
 
 from __future__ import annotations
@@ -47,6 +51,84 @@ def _families(series: List[Dict[str, Any]]) -> Dict[str, List[Dict]]:
     for recs in fams.values():
         recs.sort(key=lambda r: sorted((r.get("labels") or {}).items()))
     return fams
+
+
+def _last_value(rec: Dict[str, Any]) -> Optional[float]:
+    values = rec.get("v") or []
+    return float(values[-1]) if values else None
+
+
+def cluster_summary(data: TraceData) -> Optional[Dict[str, Any]]:
+    """Supervisor-aggregated rollup, present only in merged cluster
+    traces (``repro-trace merge`` output / ``--observe`` soaks).
+
+    Returns None when the trace carries no ``scope=cluster`` series and
+    no ``repro_shard_*`` per-shard series — single-process traces render
+    no cluster panel.
+    """
+    cluster = [
+        r for r in data.series
+        if (r.get("labels") or {}).get("scope") == "cluster"
+    ]
+    shard_recs = [
+        r for r in data.series
+        if str(r.get("name", "")).startswith("repro_shard_")
+        and "shard" in (r.get("labels") or {})
+    ]
+    if not cluster and not shard_recs:
+        return None
+
+    miss: Dict[str, float] = {}
+    load_mean = None
+    load_imbalance = None
+    for rec in cluster:
+        last = _last_value(rec)
+        if last is None:
+            continue
+        name = rec.get("name")
+        if name == "repro_sched_miss_ratio":
+            miss[(rec.get("labels") or {}).get("qos", "?")] = last
+        elif name == "repro_load_mean":
+            load_mean = last
+        elif name == "repro_load_imbalance":
+            load_imbalance = last
+
+    shard_imbalance: Dict[str, float] = {}
+    shard_inflight: Dict[str, float] = {}
+    for rec in shard_recs:
+        last = _last_value(rec)
+        if last is None:
+            continue
+        sid = rec["labels"]["shard"]
+        if rec.get("name") == "repro_shard_imbalance":
+            shard_imbalance[sid] = last
+        elif rec.get("name") == "repro_shard_tasks_inflight":
+            shard_inflight[sid] = last
+
+    burn: Dict[str, float] = {}
+    for rec in data.series:
+        if rec.get("name") != "repro_slo_burn_rate":
+            continue
+        last = _last_value(rec)
+        if last is None:
+            continue
+        labels = rec.get("labels") or {}
+        key = f"{labels.get('slo', '?')}/{labels.get('window', '?')}"
+        # Several shards may report the same SLO window; the cluster
+        # state is the worst of them.
+        burn[key] = max(burn.get(key, 0.0), last)
+
+    return {
+        "shards": sorted(
+            {r["labels"]["shard"] for r in shard_recs}
+        ),
+        "load_mean": load_mean,
+        "load_imbalance": load_imbalance,
+        "miss_ratio": miss,
+        "shard_imbalance": shard_imbalance,
+        "shard_inflight": shard_inflight,
+        "slo_burn": burn,
+    }
 
 
 def _series_line(rec: Dict[str, Any], width: int, markdown: bool) -> str:
@@ -88,6 +170,45 @@ def render_report(
         lines.append(head)
     else:
         lines.append(f"repro health report: {head}")
+
+    cluster = cluster_summary(data)
+    if cluster is not None:
+        heading("cluster")
+        parts = []
+        if cluster["shards"]:
+            parts.append(f"shards={len(cluster['shards'])}")
+        if cluster["load_mean"] is not None:
+            parts.append(f"load_mean={cluster['load_mean']:.3g}")
+        if cluster["load_imbalance"] is not None:
+            parts.append(
+                f"load_imbalance={cluster['load_imbalance']:.3g}"
+            )
+        for qos, ratio in sorted(cluster["miss_ratio"].items()):
+            parts.append(f"miss_ratio[{qos}]={ratio:.1%}")
+        lines.append(" ".join(parts) if parts else "(no samples)")
+        if cluster["shard_imbalance"]:
+            vals = cluster["shard_imbalance"]
+            spread = max(vals.values()) - min(vals.values())
+            lines.append(
+                "per-shard imbalance: " + " ".join(
+                    f"{sid}={v:.2f}" for sid, v in sorted(vals.items())
+                ) + f"  (spread {spread:.2f})"
+            )
+        if cluster["shard_inflight"]:
+            lines.append(
+                "per-shard inflight: " + " ".join(
+                    f"{sid}={v:g}" for sid, v in
+                    sorted(cluster["shard_inflight"].items())
+                )
+            )
+        if cluster["slo_burn"]:
+            worst = max(cluster["slo_burn"].values())
+            lines.append(
+                "slo burn: " + " ".join(
+                    f"{key}={v:g}x" for key, v in
+                    sorted(cluster["slo_burn"].items())
+                ) + ("  BURNING" if worst > 1.0 else "  ok")
+            )
 
     fams = _families(data.series)
     if not fams:
@@ -249,6 +370,9 @@ def report_dict(
         "histograms": histogram_summaries(data),
         "events": control_event_counts(data),
     }
+    cluster = cluster_summary(data)
+    if cluster is not None:
+        doc["cluster"] = cluster
     if data.profile:
         doc["profile"] = data.profile
     if bundle is not None:

@@ -84,6 +84,10 @@ class FlightRecorder:
         self._reasons: Dict[str, str] = {}
         #: Paths of bundles written, in order.
         self.dumps: List[str] = []
+        #: Called as ``on_dump(reason, path)`` after each bundle is
+        #: written.  The sharded runtime uses this to notify the
+        #: supervisor so it can correlate dumps across shards.
+        self.on_dump: Optional[Any] = None
         self.n_triggers = 0
         #: Per-reason count of dumps suppressed by the cooldown.
         self.skipped: Dict[str, int] = {}
@@ -217,6 +221,9 @@ class FlightRecorder:
                 # the JSONL record type must win (matches export.py).
                 fh.write(json.dumps({**rec, "type": "metric"}) + "\n")
         self.dumps.append(path)
+        cb = self.on_dump
+        if cb is not None:
+            cb(reason, path)
         return path
 
     # -- lifecycle ---------------------------------------------------------

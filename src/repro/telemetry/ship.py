@@ -1,0 +1,116 @@
+"""Cursor-based trace shipping: flush tracer history to an export stream.
+
+A :class:`TraceShipper` tracks how much of a
+:class:`~repro.telemetry.tracer.TelemetryTracer`'s finished-span and
+event history has already been flushed to an external sink (a
+supervisor pipe, a file), and hands out only the unshipped suffix as
+JSONL-ready records.  It exists to close the span-loss window the
+sharded runtime had: the shard's history trim (``del spans[:-KEEP]``)
+could discard spans that had never reached the export stream.  With a
+shipper the rule is *flush before trim, trim only what was flushed* —
+:meth:`trim` refuses to delete unshipped records, so under any burst
+the union of shipped + retained records is the full history.
+
+The shipper reads the tracer's public lists only (no tracer changes),
+so it composes with the flight recorder's listener tap and the
+in-process exporters untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class TraceShipper:
+    """Incremental span/event flusher over a tracer's history lists."""
+
+    def __init__(self, tracer, shard: Optional[str] = None) -> None:
+        self.tracer = tracer
+        #: Stamped into every shipped record (cluster merge provenance).
+        self.shard = shard
+        #: History-list prefix lengths already handed out by collect().
+        self._spans_shipped = 0
+        self._events_shipped = 0
+        #: Totals across the shipper's lifetime (survive trims).
+        self.total_spans = 0
+        self.total_events = 0
+
+    # -- flushing ------------------------------------------------------------
+    def pending(self) -> int:
+        """Records accumulated since the last :meth:`collect`."""
+        return (
+            max(0, len(self.tracer.spans) - self._spans_shipped)
+            + max(0, len(self.tracer.events) - self._events_shipped)
+        )
+
+    def collect(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The unshipped suffix as JSONL-ready records (``type`` tagged).
+
+        Advances the cursor past everything returned.  With *limit*,
+        at most that many records are returned (spans first) and the
+        remainder stays pending for the next call.
+        """
+        out: List[Dict[str, Any]] = []
+        spans = self.tracer.spans
+        events = self.tracer.events
+        take_spans = len(spans) - self._spans_shipped
+        if limit is not None:
+            take_spans = min(take_spans, max(0, limit))
+        for span in spans[self._spans_shipped:
+                          self._spans_shipped + take_spans]:
+            rec = span.as_dict()
+            rec["type"] = "span"
+            if self.shard is not None:
+                rec.setdefault("attrs", {})["shard"] = self.shard
+            out.append(rec)
+        self._spans_shipped += take_spans
+        self.total_spans += take_spans
+
+        take_events = len(events) - self._events_shipped
+        if limit is not None:
+            take_events = min(take_events, max(0, limit - take_spans))
+        for ev in events[self._events_shipped:
+                         self._events_shipped + take_events]:
+            rec = ev.as_dict()
+            rec["type"] = "event"
+            if self.shard is not None:
+                rec.setdefault("attrs", {})["shard"] = self.shard
+            out.append(rec)
+        self._events_shipped += take_events
+        self.total_events += take_events
+        return out
+
+    # -- safe trimming -------------------------------------------------------
+    def trim(self, keep: int, high: Optional[int] = None) -> int:
+        """Trim shipped history down to *keep* records per list.
+
+        Only records already handed out by :meth:`collect` are
+        eligible — unshipped ones survive regardless of *keep*, so a
+        burst between flushes can never lose data.  With *high*, lists
+        at or under that length are left alone (hysteresis).  Returns
+        the number of records dropped.
+        """
+        dropped = 0
+        for shipped_attr, records in (
+            ("_spans_shipped", self.tracer.spans),
+            ("_events_shipped", self.tracer.events),
+        ):
+            if high is not None and len(records) <= high:
+                continue
+            shipped = getattr(self, shipped_attr)
+            # Never drop below `keep` retained records, and never drop
+            # past the shipped prefix.
+            droppable = min(shipped, max(0, len(records) - keep))
+            if droppable <= 0:
+                continue
+            del records[:droppable]
+            setattr(self, shipped_attr, shipped - droppable)
+            dropped += droppable
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceShipper shard={self.shard!r} "
+            f"shipped={self.total_spans}+{self.total_events} "
+            f"pending={self.pending()}>"
+        )

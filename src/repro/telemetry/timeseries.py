@@ -313,6 +313,17 @@ class HealthSampler:
             )
         ring.append(self._now, value)
 
+    def ingest(self, t: float, name: str, value: float, **labels: Any) -> None:
+        """Record one externally-timed point (supervisor aggregation).
+
+        Unlike :meth:`observe` — which stamps at the time of the probe
+        sweep currently running — this sets the sample time explicitly,
+        for callers folding in measurements that arrived over a pipe
+        with their own timestamps (cluster health rollup).
+        """
+        self._now = float(t)
+        self.observe(name, value, **labels)
+
     def sample(self) -> None:
         """Take one snapshot: run every probe at the current clock time."""
         t0 = perf_counter()

@@ -15,6 +15,8 @@ ledger) are unit-tested without processes first.
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 
 import pytest
 
@@ -77,6 +79,40 @@ def test_merge_prometheus_sums_series():
     assert 'repro_y{shard="s1"} 5.0' in lines
 
 
+def test_merge_prometheus_family_semantics():
+    """Satellite check: explicit per-family merge semantics.  Additive
+    families (inflight counts) sum across shards; replicated-view
+    families (each shard reports the same cluster-wide roster) take the
+    max — summing them would triple-count the population."""
+    a = (
+        "repro_shard_tasks_inflight 3\n"
+        "repro_shard_roster_nodes_up 9\n"
+        "repro_shard_rm_ready 1\n"
+        'repro_slo_burn_rate{slo="miss_rate",window="fast"} 2\n'
+    )
+    b = (
+        "repro_shard_tasks_inflight 4\n"
+        "repro_shard_roster_nodes_up 9\n"
+        "repro_shard_rm_ready 0\n"
+        'repro_slo_burn_rate{slo="miss_rate",window="fast"} 5\n'
+    )
+    lines = merge_prometheus([a, b]).splitlines()
+    assert "repro_shard_tasks_inflight 7.0" in lines  # sum
+    assert "repro_shard_roster_nodes_up 9.0" in lines  # max, not 18
+    assert "repro_shard_rm_ready 1.0" in lines  # any shard ready
+    # Worst shard's burn is the cluster answer.
+    assert (
+        'repro_slo_burn_rate{slo="miss_rate",window="fast"} 5.0' in lines
+    )
+
+
+def test_merge_prometheus_family_agg_override():
+    text = merge_prometheus(
+        ["repro_x 2\n", "repro_x 3\n"], family_agg={"repro_x": "max"}
+    )
+    assert "repro_x 3.0" in text.splitlines()
+
+
 def test_task_ledger_conservation_accounting():
     led = TaskLedger()
     led.on_rm_event("t1", "admitted", None)
@@ -99,14 +135,19 @@ def test_task_ledger_conservation_accounting():
 # -- the full multi-process scenario -----------------------------------------
 
 @pytest.fixture(scope="module")
-def soak_result():
-    """One shared miniature soak: spawn, kill+respawn, settle, drain."""
+def soak_result(tmp_path_factory):
+    """One shared miniature soak: spawn, kill+respawn, settle, drain —
+    with the cluster observability plane on (trace shipping, health
+    rollup, correlated bundles, per-shard profilers)."""
     from repro.runtime.soak import SoakConfig, run_soak
 
+    root = tmp_path_factory.mktemp("soak")
     cfg = SoakConfig(
         peers=8, shards=3, duration=6.0, task_rate=3.0,
         profiler_update_period=0.5, join_timeout=30.0,
         settle_grace=45.0, object_duration_s=1.0,
+        record_dir=str(root / "flight"),
+        observe_dir=str(root / "observe"),
     )
     return run(run_soak(cfg))
 
@@ -150,3 +191,97 @@ def test_graceful_drain_left_cleanly(soak_result):
     assert soak_result["drain"]["ok"], soak_result["drain"]
     # The drained shard was not the one we killed, nor the RM's.
     assert soak_result["drain"]["shard"] != soak_result["killed"]
+
+
+# -- the cluster observability plane ------------------------------------------
+
+def test_observe_writes_merged_cluster_trace(soak_result):
+    obs = soak_result.get("observe")
+    assert obs, soak_result
+    assert soak_result["observe_ok"], obs
+    assert os.path.exists(obs["trace"])
+    # Every shard incarnation contributed a stream part (the killed
+    # shard's pre-kill file plus its respawn's).
+    assert obs["parts"] >= soak_result["shards"]
+
+
+def test_observe_cross_shard_tasks_form_connected_paths(soak_result):
+    """The e2e acceptance check: a task admitted on one shard whose
+    work executed on another yields a single connected critical path in
+    the merged trace — no orphan fragments."""
+    from repro.telemetry.cluster import cross_shard_summary
+    from repro.telemetry.export import read_jsonl
+
+    obs = soak_result["observe"]
+    data = read_jsonl(obs["trace"])
+    summary = cross_shard_summary(data)
+    assert summary["tasks"] > 0
+    assert summary["cross_shard_tasks"] > 0, summary
+    assert summary["orphan_spans"] == 0
+    cross = [t for t in summary["per_task"] if t["cross_shard"]]
+    assert any(t["connected"] for t in cross), summary
+    # A cross-shard task may lack its root only because the SIGKILLed
+    # shard lost it unshipped — never because stitching left a span
+    # dangling under a known root.
+    for t in cross:
+        if not t["connected"]:
+            assert t["orphans"] == 0, t
+
+
+def test_observe_trace_carries_cluster_health_series(soak_result):
+    from repro.telemetry.export import read_jsonl
+
+    data = read_jsonl(soak_result["observe"]["trace"])
+    names = {rec.get("name") for rec in data.series}
+    assert "repro_load_imbalance" in names
+    assert "repro_sched_miss_ratio" in names
+    scoped = [
+        rec for rec in data.series
+        if (rec.get("labels") or {}).get("scope") == "cluster"
+    ]
+    assert scoped and all(rec.get("v") for rec in scoped)
+
+
+def test_observe_merges_cluster_folded_profile(soak_result):
+    from repro.profiling.folded import read_folded
+
+    obs = soak_result["observe"]
+    assert obs.get("folded") and os.path.exists(obs["folded"])
+    counts = read_folded(obs["folded"])
+    assert counts and sum(counts.values()) > 0
+    # At least one live-runtime frame made it into the cluster flame.
+    assert any("repro" in stack for stack in counts)
+
+
+def test_observe_correlated_bundle_collects_shards(soak_result):
+    bundles = soak_result["observe"]["bundles"]
+    checkpoint = [
+        b for b in bundles if b["reason"] == "soak_checkpoint"
+    ]
+    assert checkpoint, bundles
+    bundle = checkpoint[-1]
+    # The snapshot fan-out gathered a dump from every live shard.
+    assert len(bundle["shards"]) >= 2, bundle
+    manifest_path = os.path.join(bundle["dir"], "manifest.json")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    assert manifest["reason"] == "soak_checkpoint"
+    for sid in bundle["shards"]:
+        dump = os.path.join(bundle["dir"], f"{sid}.jsonl")
+        assert os.path.exists(dump)
+        with open(dump, "r", encoding="utf-8") as fh:
+            first = json.loads(fh.readline())
+        assert first.get("type") == "meta"
+
+
+def test_observe_shard_profilers_stayed_under_budget(soak_result):
+    """The GIL-model acceptance check: every shard's wall profiler ran
+    with the handoff model on and its estimated (not just measured)
+    cost stayed under 5% of the run."""
+    profiles = soak_result["observe"]["profiles"]
+    assert profiles, soak_result["observe"]
+    for sid, prof in profiles.items():
+        assert prof["samples"] > 0, (sid, prof)
+        assert prof.get("gil_per_sample_s", 0) > 0, (sid, prof)
+        assert prof["estimated_seconds"] >= prof["gil_seconds"]
+        assert prof["budget"]["overhead_cumulative"] < 0.05, (sid, prof)
